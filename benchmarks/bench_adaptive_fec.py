@@ -1,0 +1,69 @@
+"""Benchmark E7: adaptive forward error correction (PLP primitive 4).
+
+Sweeps the raw per-lane BER and reports which FEC scheme the adaptive
+controller selects, the resulting residual BER, the latency overhead and
+the effective throughput -- the trade the CRC makes on behalf of each link.
+"""
+
+import pytest
+
+from repro.phy.fec import AdaptiveFecController, FEC_NONE
+from repro.sim.units import GBPS
+from repro.telemetry.report import format_table
+
+RAW_BERS = [1e-15, 1e-12, 1e-9, 1e-7, 1e-5, 1e-4, 1e-3]
+
+
+def _sweep(target_ber):
+    controller = AdaptiveFecController(target_ber=target_ber)
+    rows = []
+    current = FEC_NONE
+    for raw in RAW_BERS:
+        chosen = controller.select(raw, current=current)
+        current = chosen
+        rows.append(
+            {
+                "raw_ber": raw,
+                "scheme": chosen.name,
+                "post_fec_ber": chosen.post_fec_ber(raw),
+                "latency_ns": chosen.latency * 1e9,
+                "effective_gbps": chosen.effective_rate(100 * GBPS) / GBPS,
+            }
+        )
+    return rows
+
+
+@pytest.mark.parametrize("target_ber", [1e-12, 1e-15])
+def test_adaptive_fec_sweep(benchmark, target_ber):
+    rows = benchmark(_sweep, target_ber)
+    # Stronger channels get cheaper codes; the dirtiest channels get the
+    # strongest code even if the target cannot be met.
+    assert rows[0]["scheme"] == "none"
+    assert rows[-1]["latency_ns"] >= rows[0]["latency_ns"]
+    # Wherever the target is met, the residual BER respects it.
+    for row in rows:
+        if row["post_fec_ber"] <= target_ber:
+            assert row["effective_gbps"] <= 100.0
+    print()
+    print(
+        format_table(
+            ["raw_ber", "scheme", "post_fec_ber", "latency_ns", "effective_gbps"],
+            [[r[c] for c in ("raw_ber", "scheme", "post_fec_ber", "latency_ns", "effective_gbps")] for r in rows],
+            title=f"Adaptive FEC selection (target residual BER {target_ber:.0e})",
+        )
+    )
+
+
+def test_fec_selection_throughput(benchmark):
+    """Selection itself must be cheap: it runs inside the control loop."""
+    controller = AdaptiveFecController()
+
+    def select_many():
+        scheme = None
+        for _ in range(200):
+            for raw in RAW_BERS:
+                scheme = controller.select(raw, current=scheme)
+        return scheme
+
+    result = benchmark(select_many)
+    assert result is not None

@@ -1,0 +1,81 @@
+"""Benchmark E4: the minimum flow size for which reconfiguration pays off.
+
+The paper frames this as *the* problem of every reconfigurable fabric
+(section 3.2).  The benchmark sweeps the reconfiguration delay from the
+electrical (microsecond) to the optical (multi-millisecond) regime and
+reports the break-even flow size, plus the crossover verdict for a sweep
+of flow sizes at one representative delay.
+"""
+
+import pytest
+
+from repro.analysis.breakeven import break_even_curve, reconfiguration_crossover_table
+from repro.core.reconfiguration import break_even_flow_size
+from repro.sim.units import GBPS, kilobytes, megabytes, gigabytes, microseconds, milliseconds
+from repro.telemetry.report import format_table
+
+DELAYS = [
+    microseconds(1),
+    microseconds(10),
+    microseconds(100),
+    milliseconds(1),
+    milliseconds(10),
+]
+
+FLOW_SIZES = [
+    kilobytes(1),
+    kilobytes(64),
+    megabytes(1),
+    megabytes(64),
+    gigabytes(1),
+]
+
+
+def test_break_even_delay_sweep(benchmark):
+    rows = benchmark(break_even_curve, DELAYS, 50 * GBPS, 100 * GBPS)
+    thresholds = [row["break_even_bits"] for row in rows]
+    assert thresholds == sorted(thresholds)
+    # Electrical-scale reconfiguration pays off for ~100 KB flows; optical
+    # scale needs hundreds of megabytes.
+    assert thresholds[0] < megabytes(1)
+    assert thresholds[-1] > megabytes(100)
+    print()
+    print(
+        format_table(
+            ["reconfig_delay_s", "break_even_bits", "break_even_bytes"],
+            [[r["reconfiguration_delay"], r["break_even_bits"], r["break_even_bytes"]] for r in rows],
+            title="Break-even flow size vs reconfiguration delay (50G -> 100G)",
+        )
+    )
+
+
+def test_crossover_verdicts_at_100us(benchmark):
+    delay = microseconds(100)
+    rows = benchmark(
+        reconfiguration_crossover_table, FLOW_SIZES, 50 * GBPS, 100 * GBPS, delay
+    )
+    threshold = break_even_flow_size(50 * GBPS, 100 * GBPS, delay)
+    for row in rows:
+        expected = row["flow_size_bits"] >= threshold
+        assert bool(row["worthwhile"]) == expected
+    print()
+    print(
+        format_table(
+            ["flow_size_bits", "gain_seconds", "worthwhile"],
+            [[r["flow_size_bits"], r["gain_seconds"], bool(r["worthwhile"])] for r in rows],
+            title="Reconfiguration crossover at 100 us delay",
+        )
+    )
+
+
+@pytest.mark.parametrize("speedup", [1.25, 2.0, 4.0])
+def test_break_even_speedup_sensitivity(benchmark, speedup):
+    delay = microseconds(10)
+
+    def compute():
+        return break_even_flow_size(50 * GBPS, 50 * GBPS * speedup, delay)
+
+    threshold = benchmark(compute)
+    assert threshold > 0
+    print()
+    print(f"speedup x{speedup}: break-even = {threshold:.3e} bits ({threshold / 8e6:.2f} MB)")

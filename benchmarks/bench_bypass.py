@@ -1,0 +1,109 @@
+"""Benchmark E8: high-speed bypass (PLP primitive 2).
+
+A bypass cross-connects two links beneath the packet switches, so packets
+on the bypassed path skip every intermediate switching pipeline.  The
+benchmark measures per-packet latency for hot node pairs with and without a
+bypass, and sweeps the crosspoint budget under a hotspot workload driven by
+the CRC's bypass policy.
+"""
+
+import pytest
+
+from repro.core.crc import ClosedRingControl, CRCConfig
+from repro.core.plp import PLPCommand, PLPCommandType, PLPExecutor
+from repro.experiments.harness import build_grid_fabric, run_fluid_experiment
+from repro.fabric.fabric import Fabric, FabricConfig
+from repro.fabric.topology import TopologyBuilder
+from repro.sim.units import GBPS, bits_from_bytes, megabytes, microseconds
+from repro.telemetry.report import format_table
+from repro.workloads.base import WorkloadSpec
+from repro.workloads.hotspot import HotspotWorkload
+
+
+def _bypass_latency_rows():
+    fabric = Fabric(TopologyBuilder(lanes_per_link=2).grid(4, 4), FabricConfig())
+    executor = PLPExecutor(fabric)
+    src, dst = "n0x0", "n3x3"
+    packet_bits = bits_from_bytes(1500)
+    path = fabric.router.path(src, dst)
+    without = fabric.path_latency(path, packet_bits)["total"]
+    links = [fabric.topology.link_between(path[i], path[i + 1]) for i in range(len(path) - 1)]
+    executor.execute(
+        PLPCommand(
+            PLPCommandType.CREATE_BYPASS,
+            (src, dst),
+            {
+                "through": tuple(path[1:-1]),
+                "capacity_bps": min(link.capacity_bps for link in links),
+                "propagation_delay": sum(link.propagation_delay for link in links),
+            },
+        )
+    )
+    circuit = fabric.bypasses.circuit_for(src, dst)
+    with_bypass = circuit.transfer_latency(packet_bits)
+    return [
+        {"path": "packet-switched", "hops": len(path) - 1, "latency": without},
+        {"path": "bypass-circuit", "hops": len(circuit.through) + 1, "latency": with_bypass},
+    ]
+
+
+def test_bypass_removes_switching_latency(benchmark):
+    rows = benchmark.pedantic(_bypass_latency_rows, rounds=1, iterations=1)
+    packet_switched = rows[0]["latency"]
+    bypassed = rows[1]["latency"]
+    assert bypassed < packet_switched
+    print()
+    print(
+        format_table(
+            ["path", "hops", "latency_s"],
+            [[r["path"], r["hops"], r["latency"]] for r in rows],
+            title="Corner-to-corner 1500 B packet, 4x4 grid",
+        )
+    )
+
+
+def _hotspot_with_budget(max_circuits):
+    fabric = Fabric(
+        TopologyBuilder(lanes_per_link=2).grid(3, 3),
+        FabricConfig(max_bypass_circuits=max_circuits),
+    )
+    crc = ClosedRingControl(
+        fabric,
+        CRCConfig(
+            enable_bypass=True,
+            enable_adaptive_fec=False,
+            control_period=microseconds(200),
+            bypass_min_demand_bits=megabytes(1),
+        ),
+    )
+    names = fabric.topology.endpoints()
+    spec = WorkloadSpec(nodes=names, mean_flow_size_bits=megabytes(2), seed=8)
+    workload = HotspotWorkload(
+        spec, num_flows=24, hot_fraction=0.5,
+        hot_pairs=[("n0x0", "n2x2"), ("n0x2", "n2x0")],
+    )
+    result = run_fluid_experiment(
+        fabric, workload.generate(), label=f"budget-{max_circuits}", crc=crc,
+        control_period=microseconds(200),
+    )
+    return {
+        "max_circuits": max_circuits,
+        "circuits_established": fabric.bypasses.total_established,
+        "makespan": result.makespan,
+    }
+
+
+@pytest.mark.parametrize("max_circuits", [0, 2, 8])
+def test_bypass_budget_sweep(benchmark, max_circuits):
+    row = benchmark.pedantic(_hotspot_with_budget, args=(max_circuits,), rounds=1, iterations=1)
+    assert row["makespan"] is not None
+    if max_circuits == 0:
+        assert row["circuits_established"] == 0
+    print()
+    print(
+        format_table(
+            ["max_circuits", "circuits_established", "makespan"],
+            [[row["max_circuits"], row["circuits_established"], row["makespan"]]],
+            title="Hotspot workload vs bypass budget (3x3 grid)",
+        )
+    )

@@ -1,0 +1,66 @@
+"""Benchmark for Figure 1: media propagation vs cut-through switching latency.
+
+Regenerates the paper's Figure 1 series (a switching element every 2 m,
+path lengths spanning the rack) and reports how long the closed-form model
+takes to produce it.  The qualitative claim under test: switching latency
+dominates media latency at every rack-scale distance.
+"""
+
+import pytest
+
+from repro.analysis.latency import LatencyModel
+from repro.experiments.figures import figure1_rows
+from repro.telemetry.report import format_table
+
+DISTANCES = list(range(2, 42, 2))
+
+
+def _figure1(packet_bytes):
+    return figure1_rows(distances_meters=DISTANCES, packet_size_bytes=packet_bytes)
+
+
+@pytest.mark.parametrize("packet_bytes", [64.0, 1500.0])
+def test_figure1_series(benchmark, packet_bytes):
+    rows = benchmark(_figure1, packet_bytes)
+    assert len(rows) == len(DISTANCES)
+    # Switching dominates the media everywhere a switch is traversed.
+    for row in rows:
+        if row["hops"] >= 1:
+            assert row["switching_latency"] > row["media_latency"]
+    print()
+    print(
+        format_table(
+            ["distance_m", "hops", "media_latency_s", "switching_latency_s", "ratio"],
+            [
+                [r["distance_meters"], r["hops"], r["media_latency"], r["switching_latency"], r["ratio"]]
+                for r in rows
+            ],
+            title=f"Figure 1 (packet = {packet_bytes:.0f} B)",
+        )
+    )
+
+
+def test_figure1_store_and_forward_comparison(benchmark):
+    model = LatencyModel()
+
+    def compute():
+        return [
+            (
+                distance,
+                model.end_to_end(distance, 1500)["total"],
+                model.end_to_end(distance, 1500, store_and_forward=True)["total"],
+            )
+            for distance in DISTANCES
+        ]
+
+    rows = benchmark(compute)
+    for _, cut, snf in rows:
+        assert snf >= cut
+    print()
+    print(
+        format_table(
+            ["distance_m", "cut_through_s", "store_and_forward_s"],
+            rows,
+            title="Figure 1 companion: cut-through vs store-and-forward",
+        )
+    )

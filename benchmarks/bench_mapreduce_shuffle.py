@@ -1,0 +1,61 @@
+"""Benchmark E3: the MapReduce shuffle (the paper's motivating example).
+
+"Since a reducer has to wait for data from all mappers, the slowest link
+pulls down the performance of an entire system."  The benchmark compares
+the shuffle makespan and the straggler ratio on a static grid against the
+adaptive fabric, and against the idealised circuit-switched oracle.
+"""
+
+import pytest
+
+from repro.baselines.circuit import OracleCircuitBaseline
+from repro.experiments.figures import mapreduce_comparison_rows
+from repro.fabric.topology import TopologyBuilder
+from repro.sim.units import GBPS, megabytes
+from repro.telemetry.report import format_table
+from repro.workloads.base import WorkloadSpec
+from repro.workloads.mapreduce import MapReduceShuffleWorkload
+
+
+def _adaptive_vs_static(rows, columns):
+    return mapreduce_comparison_rows(
+        rows=rows, columns=columns, flow_size_bits=megabytes(2), seed=2, skew_factor=2.0
+    )
+
+
+@pytest.mark.parametrize("dimensions", [(3, 3), (4, 4)])
+def test_mapreduce_static_vs_adaptive(benchmark, dimensions):
+    rows, columns = dimensions
+    result = benchmark.pedantic(_adaptive_vs_static, args=dimensions, rounds=1, iterations=1)
+    by_config = {row["configuration"]: row for row in result}
+    static = by_config["grid-static"]
+    adaptive = by_config["adaptive-crc"]
+    assert adaptive["makespan"] is not None and static["makespan"] is not None
+    # The adaptive fabric must not regress the shuffle badly, and the
+    # straggler (the paper's headline concern) must not get worse.
+    assert adaptive["makespan"] <= static["makespan"] * 1.25
+    assert adaptive["straggler_ratio"] <= static["straggler_ratio"] * 1.05
+    print()
+    print(
+        format_table(
+            ["configuration", "makespan", "mean_fct", "p99_fct", "straggler_ratio"],
+            [
+                [r["configuration"], r["makespan"], r["mean_fct"], r["p99_fct"], r["straggler_ratio"]]
+                for r in result
+            ],
+            title=f"MapReduce shuffle, {rows}x{columns} rack",
+        )
+    )
+
+
+def test_mapreduce_oracle_circuit_bound(benchmark):
+    names = [TopologyBuilder.grid_node_name(r, c) for r in range(4) for c in range(4)]
+    spec = WorkloadSpec(nodes=names, mean_flow_size_bits=megabytes(2), seed=2)
+    flows = MapReduceShuffleWorkload(spec, skew_factor=2.0).generate()
+    oracle = OracleCircuitBaseline(nic_rate_bps=100 * GBPS)
+    result = benchmark.pedantic(oracle.run, args=(flows,), rounds=1, iterations=1)
+    makespan = result.makespan()
+    assert makespan is not None
+    assert makespan >= oracle.lower_bound_makespan(flows) * 0.99
+    print()
+    print(f"oracle circuit shuffle makespan: {makespan:.6f} s")

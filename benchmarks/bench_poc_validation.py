@@ -1,0 +1,35 @@
+"""Benchmark E6: small-scale simulation validation (hardware-POC substitute).
+
+The paper's methodology validates the small-scale simulation against a
+NetFPGA SUME proof of concept before trusting the large-scale simulation.
+This reproduction substitutes agreement between the packet-level simulator
+and the closed-form analytical pipeline model; the benchmark runs the
+validation suite and reports the worst relative error.
+"""
+
+from repro.analysis.validation import validate_against_analytical, validation_summary
+from repro.telemetry.report import format_table
+
+
+def test_packet_simulator_matches_analytical_model(benchmark):
+    results = benchmark.pedantic(
+        validate_against_analytical,
+        kwargs={"chain_lengths": (2, 3, 5, 9), "packet_sizes_bytes": (64.0, 1500.0)},
+        rounds=1,
+        iterations=1,
+    )
+    summary = validation_summary(results)
+    assert summary["max_relative_error"] < 1e-6
+    print()
+    print(
+        format_table(
+            ["scenario", "hops", "packet_bytes", "simulated_s", "analytical_s", "rel_error"],
+            [
+                [r.scenario, r.hops, r.packet_size_bytes, r.simulated_latency,
+                 r.analytical_latency, r.relative_error]
+                for r in results
+            ],
+            title="Packet-level simulation vs closed-form model (POC substitute)",
+        )
+    )
+    print(f"max relative error: {summary['max_relative_error']:.3e}")

@@ -1,0 +1,15 @@
+"""Repository-level pytest configuration.
+
+Ensures the ``src`` layout is importable even when the package has not been
+installed (useful in offline environments where ``pip install -e .`` cannot
+resolve build dependencies); an installed copy always takes precedence
+because ``site-packages`` appears earlier on ``sys.path`` only when the
+package is genuinely installed there.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(__file__), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

@@ -1,0 +1,58 @@
+"""Figure 1 and the simulation-vs-model validation, from the public API.
+
+Prints the paper's Figure 1 series (media propagation vs cut-through
+switching latency, one switching element every two metres) and then runs
+the validation suite that stands in for the paper's NetFPGA proof of
+concept: the packet-level simulator must agree with the closed-form model.
+
+Run with::
+
+    python examples/latency_analysis.py
+"""
+
+from repro import LatencyModel, media_vs_switching_series, validate_against_analytical
+from repro.analysis.validation import validation_summary
+from repro.telemetry.report import format_table
+
+
+def main() -> None:
+    model = LatencyModel()
+    rows = media_vs_switching_series(range(2, 42, 4), packet_size_bytes=1500, model=model)
+    print(
+        format_table(
+            ["distance (m)", "switch hops", "media latency (s)", "switching latency (s)", "ratio"],
+            [
+                [r["distance_meters"], r["hops"], r["media_latency"], r["switching_latency"], r["ratio"]]
+                for r in rows
+            ],
+            title="Figure 1: media vs cut-through switching latency (1500 B packets)",
+        )
+    )
+    worst = rows[-1]
+    print()
+    print(
+        f"at {worst['distance_meters']:.0f} m the packet crosses "
+        f"{worst['hops']:.0f} switching elements; switching contributes "
+        f"{worst['ratio']:.0f}x more latency than the media."
+    )
+
+    print()
+    results = validate_against_analytical()
+    print(
+        format_table(
+            ["scenario", "hops", "packet (B)", "simulated (s)", "analytical (s)", "rel. error"],
+            [
+                [r.scenario, r.hops, r.packet_size_bytes, r.simulated_latency,
+                 r.analytical_latency, r.relative_error]
+                for r in results
+            ],
+            title="Validation: packet-level simulation vs closed-form model",
+        )
+    )
+    summary = validation_summary(results)
+    print()
+    print(f"max relative error across scenarios: {summary['max_relative_error']:.2e}")
+
+
+if __name__ == "__main__":
+    main()

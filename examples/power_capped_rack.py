@@ -1,0 +1,71 @@
+"""Operating a rack fabric under a strict power budget.
+
+Rack-scale systems inherit the power envelope of a traditional rack.  This
+example runs disaggregated-storage traffic (compute sleds reading and
+writing NVMe sleds) while the Closed Ring Control's power-cap policy gates
+lanes off to keep the fabric under a sweep of power caps, and reports the
+throughput cost of each cap.
+
+Run with::
+
+    python examples/power_capped_rack.py
+"""
+
+from repro import CRCConfig, ClosedRingControl, WorkloadSpec, build_grid_fabric, run_fluid_experiment
+from repro.sim.units import megabytes, microseconds
+from repro.telemetry.report import format_table
+from repro.workloads.storage import DisaggregatedStorageWorkload
+
+ROWS, COLUMNS = 4, 4
+
+
+def run_with_cap(cap_fraction: float):
+    fabric = build_grid_fabric(ROWS, COLUMNS, lanes_per_link=2)
+    uncapped_watts = fabric.power_report().total_watts
+    cap = uncapped_watts * cap_fraction
+    crc = ClosedRingControl(
+        fabric,
+        CRCConfig(
+            power_cap_watts=cap,
+            enable_bypass=False,
+            enable_adaptive_fec=False,
+            control_period=microseconds(200),
+        ),
+    )
+    spec = WorkloadSpec(
+        nodes=fabric.topology.endpoints(), mean_flow_size_bits=megabytes(1), seed=6
+    )
+    workload = DisaggregatedStorageWorkload(spec, num_requests=120, requests_per_second=5e4)
+    result = run_fluid_experiment(
+        fabric, workload.generate(), label=f"cap {cap_fraction:.0%}", crc=crc,
+        control_period=microseconds(200),
+    )
+    return [
+        f"{cap_fraction:.0%}",
+        round(cap, 1),
+        round(fabric.power_report().total_watts, 1),
+        fabric.topology.total_active_lanes(),
+        result.makespan,
+        result.p99_fct,
+    ]
+
+
+def main() -> None:
+    rows = [run_with_cap(fraction) for fraction in (1.0, 0.95, 0.9, 0.85)]
+    print(
+        format_table(
+            ["power cap", "cap (W)", "final fabric power (W)", "active lanes",
+             "makespan (s)", "p99 FCT (s)"],
+            rows,
+            title="Disaggregated storage traffic under a rack power cap (4x4 grid)",
+        )
+    )
+    print()
+    print(
+        "tighter caps force the CRC to gate lanes off on cold links; the "
+        "workload completes in all cases, trading completion time for watts."
+    )
+
+
+if __name__ == "__main__":
+    main()

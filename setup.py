@@ -1,0 +1,10 @@
+"""Setup shim.
+
+The project is configured through ``pyproject.toml``; this file exists so
+that editable installs (``pip install -e .``) work in offline environments
+whose setuptools predates PEP 660 editable-wheel support.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,168 @@
+"""repro: adaptive rack-scale fabrics.
+
+A reproduction of *"High speed adaptive rack-scale fabrics"* (Sella, Moore,
+Zilberman; SIGCOMM 2018): Physical Layer Primitives (PLP) orchestrated by a
+Closed Ring Control (CRC) over a discrete-event rack-fabric simulator.
+
+Quick start::
+
+    from repro import (
+        CRCConfig, ClosedRingControl, TopologyBuilder, Fabric,
+        WorkloadSpec, MapReduceShuffleWorkload, run_fluid_experiment,
+    )
+
+    fabric = Fabric(TopologyBuilder(lanes_per_link=2).grid(4, 4))
+    crc = ClosedRingControl(fabric, CRCConfig(
+        enable_topology_reconfiguration=True, grid_rows=4, grid_columns=4))
+    spec = WorkloadSpec(nodes=fabric.topology.endpoints())
+    result = run_fluid_experiment(
+        fabric, MapReduceShuffleWorkload(spec).generate(), crc=crc)
+    print(result.makespan)
+"""
+
+from repro.analysis import LatencyModel, media_vs_switching_series, validate_against_analytical
+from repro.baselines import OracleCircuitBaseline, run_ecmp_baseline, run_static_baseline
+from repro.core import (
+    AdaptiveFecPolicy,
+    BypassPolicy,
+    ClosedRingControl,
+    CompositePolicy,
+    CRCConfig,
+    FlowScheduler,
+    GridToTorusPlan,
+    LatencyMinimizationPolicy,
+    LinkPriceTagger,
+    Observation,
+    PLPCommand,
+    PLPCommandType,
+    PLPExecutor,
+    PowerCapPolicy,
+    PriceWeights,
+    ReconfigurationDelays,
+    ReconfigurationPlanner,
+    break_even_flow_size,
+)
+from repro.experiments import (
+    ExperimentResult,
+    build_grid_fabric,
+    build_torus_fabric,
+    figure1_rows,
+    figure2_rows,
+    run_adaptive_experiment,
+    run_fluid_experiment,
+)
+from repro.fabric import (
+    CutThroughSwitch,
+    Fabric,
+    FabricConfig,
+    Node,
+    NodeType,
+    Router,
+    RoutingPolicy,
+    Topology,
+    TopologyBuilder,
+)
+from repro.phy import (
+    STANDARD_FEC_SCHEMES,
+    AdaptiveFecController,
+    BypassManager,
+    FecScheme,
+    Lane,
+    LaneState,
+    Link,
+    Media,
+    PowerBudget,
+    PowerModel,
+)
+from repro.sim import (
+    Flow,
+    FlowSet,
+    FluidFlowSimulator,
+    Packet,
+    RandomStreams,
+    Simulator,
+    TraceRecorder,
+)
+from repro.telemetry import TelemetryCollector
+from repro.workloads import (
+    DisaggregatedStorageWorkload,
+    HotspotWorkload,
+    IncastWorkload,
+    MapReduceShuffleWorkload,
+    PermutationWorkload,
+    TraceReplayWorkload,
+    UniformRandomWorkload,
+    WorkloadSpec,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "LatencyModel",
+    "media_vs_switching_series",
+    "validate_against_analytical",
+    "OracleCircuitBaseline",
+    "run_ecmp_baseline",
+    "run_static_baseline",
+    "AdaptiveFecPolicy",
+    "BypassPolicy",
+    "ClosedRingControl",
+    "CompositePolicy",
+    "CRCConfig",
+    "FlowScheduler",
+    "GridToTorusPlan",
+    "LatencyMinimizationPolicy",
+    "LinkPriceTagger",
+    "Observation",
+    "PLPCommand",
+    "PLPCommandType",
+    "PLPExecutor",
+    "PowerCapPolicy",
+    "PriceWeights",
+    "ReconfigurationDelays",
+    "ReconfigurationPlanner",
+    "break_even_flow_size",
+    "ExperimentResult",
+    "build_grid_fabric",
+    "build_torus_fabric",
+    "figure1_rows",
+    "figure2_rows",
+    "run_adaptive_experiment",
+    "run_fluid_experiment",
+    "CutThroughSwitch",
+    "Fabric",
+    "FabricConfig",
+    "Node",
+    "NodeType",
+    "Router",
+    "RoutingPolicy",
+    "Topology",
+    "TopologyBuilder",
+    "STANDARD_FEC_SCHEMES",
+    "AdaptiveFecController",
+    "BypassManager",
+    "FecScheme",
+    "Lane",
+    "LaneState",
+    "Link",
+    "Media",
+    "PowerBudget",
+    "PowerModel",
+    "Flow",
+    "FlowSet",
+    "FluidFlowSimulator",
+    "Packet",
+    "RandomStreams",
+    "Simulator",
+    "TraceRecorder",
+    "TelemetryCollector",
+    "DisaggregatedStorageWorkload",
+    "HotspotWorkload",
+    "IncastWorkload",
+    "MapReduceShuffleWorkload",
+    "PermutationWorkload",
+    "TraceReplayWorkload",
+    "UniformRandomWorkload",
+    "WorkloadSpec",
+    "__version__",
+]

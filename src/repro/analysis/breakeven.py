@@ -1,0 +1,59 @@
+"""Break-even curves for reconfiguration (experiment E4).
+
+These are the analytical companions of
+:mod:`repro.core.reconfiguration`: for a sweep of reconfiguration delays
+and speed-ups they tabulate the minimum flow size for which reconfiguration
+is worth the cost, and for a sweep of flow sizes they tabulate which side
+of the crossover each lands on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.core.reconfiguration import break_even_flow_size, reconfiguration_gain
+
+
+def break_even_curve(
+    reconfiguration_delays: Sequence[float],
+    current_rate_bps: float,
+    reconfigured_rate_bps: float,
+) -> List[Dict[str, float]]:
+    """Break-even flow size as a function of reconfiguration delay."""
+    rows: List[Dict[str, float]] = []
+    for delay in reconfiguration_delays:
+        threshold = break_even_flow_size(current_rate_bps, reconfigured_rate_bps, delay)
+        rows.append(
+            {
+                "reconfiguration_delay": float(delay),
+                "break_even_bits": threshold,
+                "break_even_bytes": threshold / 8.0,
+            }
+        )
+    return rows
+
+
+def reconfiguration_crossover_table(
+    flow_sizes_bits: Sequence[float],
+    current_rate_bps: float,
+    reconfigured_rate_bps: float,
+    reconfiguration_delay: float,
+) -> List[Dict[str, float]]:
+    """Per-flow-size gain and the worthwhile verdict for one delay setting."""
+    threshold = break_even_flow_size(
+        current_rate_bps, reconfigured_rate_bps, reconfiguration_delay
+    )
+    rows: List[Dict[str, float]] = []
+    for size in flow_sizes_bits:
+        gain = reconfiguration_gain(
+            size, current_rate_bps, reconfigured_rate_bps, reconfiguration_delay
+        )
+        rows.append(
+            {
+                "flow_size_bits": float(size),
+                "gain_seconds": gain,
+                "worthwhile": 1.0 if gain > 0 else 0.0,
+                "break_even_bits": threshold,
+            }
+        )
+    return rows

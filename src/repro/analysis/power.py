@@ -1,0 +1,82 @@
+"""Rack-level power estimation (experiment E5 support).
+
+The closed-form estimates here let the power-budget benchmark show how the
+fabric's share of the rack envelope scales with lane count and lane rate,
+and what the adaptive policies can recover by gating lanes off.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.fabric.fabric import Fabric
+from repro.phy.lane import DEFAULT_LANE_POWER_WATTS, DEFAULT_STANDBY_POWER_WATTS
+from repro.phy.power import PowerModel
+
+
+def rack_power_estimate(
+    num_nodes: int,
+    links: int,
+    lanes_per_link: int,
+    active_lane_fraction: float = 1.0,
+    lane_power_watts: float = DEFAULT_LANE_POWER_WATTS,
+    standby_power_watts: float = DEFAULT_STANDBY_POWER_WATTS,
+    model: PowerModel = None,
+) -> Dict[str, float]:
+    """Closed-form fabric power for a homogeneous rack.
+
+    Returns the per-component breakdown (lanes, standby lanes, NICs, switch
+    ports) and the total, in watts.
+    """
+    if num_nodes <= 0 or links < 0 or lanes_per_link <= 0:
+        raise ValueError("num_nodes/links/lanes_per_link must be positive")
+    if not 0 <= active_lane_fraction <= 1:
+        raise ValueError("active_lane_fraction must be in [0, 1]")
+    model = model if model is not None else PowerModel()
+    total_lanes = links * lanes_per_link
+    active_lanes = total_lanes * active_lane_fraction
+    standby_lanes = total_lanes - active_lanes
+    lanes_watts = active_lanes * lane_power_watts
+    standby_watts = standby_lanes * standby_power_watts
+    nic_watts = num_nodes * model.nic_base_watts
+    # Each link's active lanes are driven by a port at both ends.
+    port_watts = 2 * active_lanes * model.switch_port_lane_watts
+    total = lanes_watts + standby_watts + nic_watts + port_watts
+    return {
+        "lanes_watts": lanes_watts,
+        "standby_watts": standby_watts,
+        "nic_watts": nic_watts,
+        "port_watts": port_watts,
+        "total_watts": total,
+    }
+
+
+def lane_power_sweep(
+    fabric: Fabric,
+    active_lane_fractions: Sequence[float],
+) -> List[Dict[str, float]]:
+    """Measure fabric power while sweeping the fraction of active lanes.
+
+    The sweep mutates lane states in place and restores full activation at
+    the end, so it is safe to run on a fabric that is about to be used.
+    """
+    rows: List[Dict[str, float]] = []
+    links = fabric.topology.links()
+    for fraction in active_lane_fractions:
+        if not 0 < fraction <= 1:
+            raise ValueError("active lane fractions must be in (0, 1]")
+        for link in links:
+            target = max(1, int(round(link.num_lanes * fraction)))
+            link.set_active_lane_count(target)
+        report = fabric.power_report()
+        rows.append(
+            {
+                "active_lane_fraction": float(fraction),
+                "active_lanes": float(fabric.topology.total_active_lanes()),
+                "links_watts": report.links_watts,
+                "total_watts": report.total_watts,
+            }
+        )
+    for link in links:
+        link.set_active_lane_count(link.num_lanes)
+    return rows

@@ -1,0 +1,81 @@
+"""Idealised circuit-switched baseline.
+
+The reconfigurable-fabric literature (ProjecToR, Shoal -- both cited by the
+paper) compares against an idealised circuit switch: every flow gets a
+dedicated end-to-end circuit at the NIC line rate, paying only a circuit
+setup delay, but a node can drive (and sink) only one circuit at a time.
+That last constraint is what makes the baseline non-trivial: all-to-all
+patterns serialise at the endpoints, so the completion time is governed by
+the heaviest sender/receiver, not by the fabric core.
+
+The model here schedules flows greedily in arrival order: a flow starts as
+soon as both its endpoints are free, runs at the NIC rate, and charges one
+setup delay.  This is optimistic (no reconfiguration conflicts in the
+switch core) which is exactly what an *oracle* baseline should be.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.sim.flow import Flow, FlowSet
+from repro.sim.units import GBPS
+
+
+@dataclass
+class OracleCircuitBaseline:
+    """Greedy oracle scheduler for an all-circuit fabric."""
+
+    nic_rate_bps: float = 100 * GBPS
+    circuit_setup_time: float = 20e-6
+
+    def __post_init__(self) -> None:
+        if self.nic_rate_bps <= 0:
+            raise ValueError("nic_rate_bps must be positive")
+        if self.circuit_setup_time < 0:
+            raise ValueError("circuit_setup_time must be >= 0")
+
+    def run(self, flows: Sequence[Flow]) -> FlowSet:
+        """Schedule *flows* and mark their completion times in place.
+
+        Flows are considered in ``(start_time, flow_id)`` order; each starts
+        at the earliest instant both its source and destination NICs are
+        free and not before its own start time.
+        """
+        node_free_at: Dict[str, float] = {}
+        ordered = sorted(flows, key=lambda flow: (flow.start_time, flow.flow_id))
+        for flow in ordered:
+            src_free = node_free_at.get(flow.src, 0.0)
+            dst_free = node_free_at.get(flow.dst, 0.0)
+            start = max(flow.start_time, src_free, dst_free)
+            duration = self.circuit_setup_time + flow.size_bits / self.nic_rate_bps
+            end = start + duration
+            flow.activate(start)
+            flow.complete(end)
+            node_free_at[flow.src] = end
+            node_free_at[flow.dst] = end
+        return FlowSet(ordered)
+
+    def lower_bound_makespan(self, flows: Sequence[Flow]) -> float:
+        """A simple lower bound: the busiest endpoint's serialised work.
+
+        Every node must send all its outgoing bits and receive all its
+        incoming bits at the NIC rate, one circuit at a time, so the busiest
+        node's total (plus one setup per flow it touches) bounds the
+        makespan from below.
+        """
+        send_bits: Dict[str, float] = {}
+        recv_bits: Dict[str, float] = {}
+        touches: Dict[str, int] = {}
+        for flow in flows:
+            send_bits[flow.src] = send_bits.get(flow.src, 0.0) + flow.size_bits
+            recv_bits[flow.dst] = recv_bits.get(flow.dst, 0.0) + flow.size_bits
+            touches[flow.src] = touches.get(flow.src, 0) + 1
+            touches[flow.dst] = touches.get(flow.dst, 0) + 1
+        bound = 0.0
+        for node in set(list(send_bits) + list(recv_bits)):
+            work = (send_bits.get(node, 0.0) + recv_bits.get(node, 0.0)) / self.nic_rate_bps
+            work += touches.get(node, 0) * self.circuit_setup_time
+            bound = max(bound, work)
+        return bound

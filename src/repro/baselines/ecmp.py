@@ -1,0 +1,37 @@
+"""Static ECMP baseline: multi-path load balancing without reconfiguration."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.experiments.harness import ExperimentResult, run_fluid_experiment
+from repro.fabric.fabric import Fabric, FabricConfig
+from repro.fabric.routing import Router, RoutingPolicy
+from repro.fabric.topology import Topology
+from repro.sim.flow import Flow
+
+
+def run_ecmp_baseline(
+    topology: Topology,
+    flows: Sequence[Flow],
+    label: str = "ecmp",
+    fabric_config: Optional[FabricConfig] = None,
+    flow_rate_limit_bps: Optional[float] = None,
+) -> ExperimentResult:
+    """Run *flows* over *topology* with per-flow ECMP hashing and no CRC.
+
+    ECMP is what a conventional packet-switched rack does about congestion:
+    spread flows over equal-cost paths and hope the hash is kind.  It needs
+    no reconfiguration hardware, so it is the fair "software-only" baseline
+    for the adaptive fabric.
+    """
+    config = fabric_config if fabric_config is not None else FabricConfig()
+    fabric = Fabric(topology, config)
+    fabric.router = Router(topology, policy=RoutingPolicy.ECMP)
+    return run_fluid_experiment(
+        fabric,
+        flows,
+        label=label,
+        crc=None,
+        flow_rate_limit_bps=flow_rate_limit_bps,
+    )

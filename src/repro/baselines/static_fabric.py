@@ -1,0 +1,31 @@
+"""Static fabric baseline: same hardware, no control loop."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.experiments.harness import ExperimentResult, run_fluid_experiment
+from repro.fabric.fabric import Fabric
+from repro.sim.flow import Flow
+
+
+def run_static_baseline(
+    fabric: Fabric,
+    flows: Sequence[Flow],
+    label: str = "static",
+    flow_rate_limit_bps: Optional[float] = None,
+    until: Optional[float] = None,
+) -> ExperimentResult:
+    """Run *flows* over *fabric* with no CRC attached.
+
+    This is the "do nothing" comparator: routing is fixed shortest-path on
+    the initial topology, capacities never change, no bypasses are carved.
+    """
+    return run_fluid_experiment(
+        fabric,
+        flows,
+        label=label,
+        crc=None,
+        flow_rate_limit_bps=flow_rate_limit_bps,
+        until=until,
+    )

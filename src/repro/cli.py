@@ -1,0 +1,148 @@
+"""Command-line interface: run the headline experiments from a shell.
+
+Examples
+--------
+::
+
+    repro-fabric figure1
+    repro-fabric figure2 --rows 4 --columns 4
+    repro-fabric mapreduce --rows 4 --columns 8
+    repro-fabric breakeven
+    repro-fabric validate
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.analysis.breakeven import break_even_curve
+from repro.analysis.validation import validate_against_analytical, validation_summary
+from repro.experiments.figures import figure1_rows, figure2_rows, mapreduce_comparison_rows
+from repro.sim.units import GBPS, megabytes, microseconds
+from repro.telemetry.report import format_table
+
+
+def _print_rows(title: str, rows: Sequence[dict]) -> None:
+    if not rows:
+        print(f"{title}: no data")
+        return
+    headers = list(rows[0].keys())
+    table = format_table(headers, [[row.get(h) for h in headers] for row in rows], title=title)
+    print(table)
+
+
+def _cmd_figure1(args: argparse.Namespace) -> int:
+    distances = list(range(2, args.max_distance + 1, 2))
+    rows = figure1_rows(distances_meters=distances, packet_size_bytes=args.packet_bytes)
+    _print_rows("Figure 1: media propagation vs cut-through switching latency", rows)
+    return 0
+
+
+def _cmd_figure2(args: argparse.Namespace) -> int:
+    rows = figure2_rows(
+        rows=args.rows,
+        columns=args.columns,
+        flow_size_bits=megabytes(args.flow_megabytes),
+        seed=args.seed,
+        workload=args.workload,
+    )
+    _print_rows("Figure 2: grid -> torus reconfiguration under the CRC", rows)
+    return 0
+
+
+def _cmd_mapreduce(args: argparse.Namespace) -> int:
+    rows = mapreduce_comparison_rows(
+        rows=args.rows,
+        columns=args.columns,
+        flow_size_bits=megabytes(args.flow_megabytes),
+        seed=args.seed,
+        skew_factor=args.skew,
+    )
+    _print_rows("MapReduce shuffle: static grid vs adaptive fabric", rows)
+    return 0
+
+
+def _cmd_breakeven(args: argparse.Namespace) -> int:
+    delays = [microseconds(value) for value in (1, 5, 10, 50, 100, 500, 1000, 10000)]
+    rows = break_even_curve(
+        delays,
+        current_rate_bps=args.current_gbps * GBPS,
+        reconfigured_rate_bps=args.reconfigured_gbps * GBPS,
+    )
+    _print_rows("Break-even flow size vs reconfiguration delay", rows)
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    results = validate_against_analytical()
+    rows = [
+        {
+            "scenario": result.scenario,
+            "hops": result.hops,
+            "packet_bytes": result.packet_size_bytes,
+            "simulated": result.simulated_latency,
+            "analytical": result.analytical_latency,
+            "relative_error": result.relative_error,
+        }
+        for result in results
+    ]
+    _print_rows("Packet-level simulation vs analytical model (POC substitute)", rows)
+    summary = validation_summary(results)
+    print()
+    print(f"max relative error:  {summary['max_relative_error']:.3e}")
+    print(f"mean relative error: {summary['mean_relative_error']:.3e}")
+    return 0 if summary["max_relative_error"] <= args.tolerance else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-fabric",
+        description="Adaptive rack-scale fabrics: experiments from the command line",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    fig1 = sub.add_parser("figure1", help="media vs switching latency (Figure 1)")
+    fig1.add_argument("--max-distance", type=int, default=40, help="largest path length in meters")
+    fig1.add_argument("--packet-bytes", type=float, default=1500.0)
+    fig1.set_defaults(func=_cmd_figure1)
+
+    fig2 = sub.add_parser("figure2", help="grid-to-torus reconfiguration (Figure 2)")
+    fig2.add_argument("--rows", type=int, default=4)
+    fig2.add_argument("--columns", type=int, default=4)
+    fig2.add_argument("--flow-megabytes", type=float, default=4.0)
+    fig2.add_argument("--seed", type=int, default=1)
+    fig2.add_argument("--workload", choices=("hotspot", "shuffle"), default="hotspot")
+    fig2.set_defaults(func=_cmd_figure2)
+
+    mapreduce = sub.add_parser("mapreduce", help="shuffle makespan, static vs adaptive")
+    mapreduce.add_argument("--rows", type=int, default=4)
+    mapreduce.add_argument("--columns", type=int, default=8)
+    mapreduce.add_argument("--flow-megabytes", type=float, default=8.0)
+    mapreduce.add_argument("--seed", type=int, default=2)
+    mapreduce.add_argument("--skew", type=float, default=2.0)
+    mapreduce.set_defaults(func=_cmd_mapreduce)
+
+    breakeven = sub.add_parser("breakeven", help="break-even flow size analysis")
+    breakeven.add_argument("--current-gbps", type=float, default=50.0)
+    breakeven.add_argument("--reconfigured-gbps", type=float, default=100.0)
+    breakeven.set_defaults(func=_cmd_breakeven)
+
+    validate = sub.add_parser("validate", help="simulation vs analytical validation")
+    validate.add_argument("--tolerance", type=float, default=0.01)
+    validate.set_defaults(func=_cmd_validate)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,69 @@
+"""The paper's contribution: Physical Layer Primitives + Closed Ring Control.
+
+* :mod:`repro.core.plp` -- the PLP command set and the executor that applies
+  commands to a fabric, modelling reconfiguration delays and the lane pool.
+* :mod:`repro.core.cost` -- per-link price tags over latency, congestion,
+  health and power, the currency of the control loop.
+* :mod:`repro.core.reconfiguration` -- the break-even optimisation ("what is
+  the minimum flow size for which reconfiguration is worth the cost?") and
+  concrete reconfiguration plans such as the Figure 2 grid-to-torus plan.
+* :mod:`repro.core.policy` -- control policies (latency minimisation, power
+  cap, adaptive FEC, composites).
+* :mod:`repro.core.scheduler` -- flow scheduling subject to PLP availability.
+* :mod:`repro.core.crc` -- the Closed Ring Control itself: the periodic
+  feedback loop that observes link statistics, prices links, asks the
+  policies for PLP commands, executes them and re-routes traffic.
+"""
+
+from repro.core.cost import LinkPriceTagger, PriceWeights
+from repro.core.crc import ClosedRingControl, CRCConfig
+from repro.core.plp import (
+    PLPCommand,
+    PLPCommandType,
+    PLPExecutor,
+    PLPResult,
+    ReconfigurationDelays,
+)
+from repro.core.policy import (
+    AdaptiveFecPolicy,
+    BypassPolicy,
+    CompositePolicy,
+    ControlPolicy,
+    LatencyMinimizationPolicy,
+    Observation,
+    PowerCapPolicy,
+)
+from repro.core.reconfiguration import (
+    GridToTorusPlan,
+    ReconfigurationPlan,
+    ReconfigurationPlanner,
+    break_even_flow_size,
+    reconfiguration_gain,
+)
+from repro.core.scheduler import FlowScheduler, SchedulingDecision
+
+__all__ = [
+    "LinkPriceTagger",
+    "PriceWeights",
+    "ClosedRingControl",
+    "CRCConfig",
+    "PLPCommand",
+    "PLPCommandType",
+    "PLPExecutor",
+    "PLPResult",
+    "ReconfigurationDelays",
+    "AdaptiveFecPolicy",
+    "BypassPolicy",
+    "CompositePolicy",
+    "ControlPolicy",
+    "LatencyMinimizationPolicy",
+    "Observation",
+    "PowerCapPolicy",
+    "GridToTorusPlan",
+    "ReconfigurationPlan",
+    "ReconfigurationPlanner",
+    "break_even_flow_size",
+    "reconfiguration_gain",
+    "FlowScheduler",
+    "SchedulingDecision",
+]

@@ -1,0 +1,298 @@
+"""Reconfiguration economics and concrete reconfiguration plans.
+
+Section 3.2 of the paper: "The problem that arises in all reconfigurable
+fabrics is finding the minimum flow size for which reconfiguration is worth
+the cost.  This could be formulated as an optimization problem and solved
+distributively by the CRC."
+
+This module provides
+
+* the closed-form break-even analysis for a single flow
+  (:func:`break_even_flow_size`, :func:`reconfiguration_gain`),
+* :class:`ReconfigurationPlanner` -- the go/no-go decision for a plan given
+  the demand it would serve, with hysteresis to prevent flapping,
+* :class:`GridToTorusPlan` -- the concrete plan behind the paper's Figure 2:
+  harvest one lane from every grid link and redeploy the freed lanes as
+  torus wrap-around links, keeping the total lane budget constant.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.plp import PLPCommand, PLPCommandType, ReconfigurationDelays
+from repro.fabric.topology import Topology, TopologyBuilder, canonical_key
+
+
+# --------------------------------------------------------------------------- #
+# Break-even analysis (experiment E4)
+# --------------------------------------------------------------------------- #
+def break_even_flow_size(
+    current_rate_bps: float,
+    reconfigured_rate_bps: float,
+    reconfiguration_delay: float,
+) -> float:
+    """Smallest flow size (bits) for which reconfiguring pays off.
+
+    A flow of size ``S`` completes in ``S / r_old`` without reconfiguration
+    and in ``delay + S / r_new`` with it.  Reconfiguration wins when::
+
+        S >= delay * r_old * r_new / (r_new - r_old)
+
+    Returns ``inf`` when the reconfigured rate is not an improvement, and
+    ``0`` when the reconfiguration is free.
+    """
+    if current_rate_bps <= 0 or reconfigured_rate_bps <= 0:
+        raise ValueError("rates must be positive")
+    if reconfiguration_delay < 0:
+        raise ValueError("reconfiguration_delay must be >= 0")
+    if reconfigured_rate_bps <= current_rate_bps:
+        return math.inf
+    if reconfiguration_delay == 0:
+        return 0.0
+    return (
+        reconfiguration_delay
+        * current_rate_bps
+        * reconfigured_rate_bps
+        / (reconfigured_rate_bps - current_rate_bps)
+    )
+
+
+def reconfiguration_gain(
+    flow_size_bits: float,
+    current_rate_bps: float,
+    reconfigured_rate_bps: float,
+    reconfiguration_delay: float,
+) -> float:
+    """Completion-time saving (seconds, positive = reconfiguring is faster)."""
+    if flow_size_bits < 0:
+        raise ValueError("flow_size_bits must be >= 0")
+    if current_rate_bps <= 0 or reconfigured_rate_bps <= 0:
+        raise ValueError("rates must be positive")
+    baseline = flow_size_bits / current_rate_bps
+    reconfigured = reconfiguration_delay + flow_size_bits / reconfigured_rate_bps
+    return baseline - reconfigured
+
+
+def worthwhile(
+    flow_size_bits: float,
+    current_rate_bps: float,
+    reconfigured_rate_bps: float,
+    reconfiguration_delay: float,
+    margin: float = 1.0,
+) -> bool:
+    """Whether a flow clears the break-even threshold by a *margin* factor."""
+    if margin < 1.0:
+        raise ValueError("margin must be >= 1.0")
+    threshold = break_even_flow_size(
+        current_rate_bps, reconfigured_rate_bps, reconfiguration_delay
+    )
+    return flow_size_bits >= threshold * margin
+
+
+# --------------------------------------------------------------------------- #
+# Reconfiguration plans
+# --------------------------------------------------------------------------- #
+@dataclass
+class ReconfigurationPlan:
+    """A named batch of PLP commands with its expected cost and benefit."""
+
+    name: str
+    commands: List[PLPCommand] = field(default_factory=list)
+    #: Expected time until the fabric is stable after issuing the batch.
+    expected_duration: float = 0.0
+    #: Free-form description of the expected benefit, for traces.
+    rationale: str = ""
+
+    @property
+    def command_count(self) -> int:
+        """Number of PLP commands in the plan."""
+        return len(self.commands)
+
+    def duration_with(self, delays: ReconfigurationDelays) -> float:
+        """Duration of the plan if applied in parallel under *delays*."""
+        if not self.commands:
+            return 0.0
+        return max(delays.for_command(command.type) for command in self.commands)
+
+
+class GridToTorusPlan:
+    """Builds the Figure 2 reconfiguration: grid @ N lanes/link -> torus.
+
+    The plan harvests ``harvest_per_link`` lanes from every existing grid
+    link (default: half of a 2-lane bundle) and creates each missing
+    wrap-around link with ``lanes_per_wraparound`` lanes taken from the
+    harvested pool.  The plan refuses to run if the harvest cannot cover the
+    wrap-around links -- conservation of the lane budget is exactly the
+    paper's "even up within a heavily populated system" constraint.
+    """
+
+    def __init__(
+        self,
+        rows: int,
+        columns: int,
+        harvest_per_link: int = 1,
+        lanes_per_wraparound: int = 1,
+    ) -> None:
+        if rows < 2 or columns < 2:
+            raise ValueError("grid dimensions must be at least 2x2")
+        if harvest_per_link <= 0 or lanes_per_wraparound <= 0:
+            raise ValueError("lane counts must be positive")
+        self.rows = rows
+        self.columns = columns
+        self.harvest_per_link = harvest_per_link
+        self.lanes_per_wraparound = lanes_per_wraparound
+
+    def wraparound_pairs(self) -> List[Tuple[str, str]]:
+        """The wrap-around links a torus adds over the grid."""
+        return TopologyBuilder.torus_wraparound_pairs(self.rows, self.columns)
+
+    def build(self, topology: Topology, delays: Optional[ReconfigurationDelays] = None) -> ReconfigurationPlan:
+        """Create the command batch for *topology* (which must be the grid).
+
+        Raises :class:`ValueError` if the topology does not look like the
+        expected grid (missing links) or if the lane budget does not cover
+        the wrap-around links.
+        """
+        delays = delays if delays is not None else ReconfigurationDelays()
+        commands: List[PLPCommand] = []
+        harvested = 0
+        grid_links: List[Tuple[str, str]] = []
+        for row in range(self.rows):
+            for column in range(self.columns):
+                here = TopologyBuilder.grid_node_name(row, column)
+                if column + 1 < self.columns:
+                    grid_links.append((here, TopologyBuilder.grid_node_name(row, column + 1)))
+                if row + 1 < self.rows:
+                    grid_links.append((here, TopologyBuilder.grid_node_name(row + 1, column)))
+
+        for a, b in grid_links:
+            if not topology.has_link(a, b):
+                raise ValueError(f"topology is missing expected grid link {a}<->{b}")
+            link = topology.link_between(a, b)
+            if link.num_lanes <= self.harvest_per_link:
+                raise ValueError(
+                    f"link {a}<->{b} has only {link.num_lanes} lanes; cannot harvest "
+                    f"{self.harvest_per_link} and keep it alive"
+                )
+            commands.append(
+                PLPCommand(
+                    type=PLPCommandType.SPLIT_LINK,
+                    endpoints=(a, b),
+                    params={"lanes": self.harvest_per_link},
+                )
+            )
+            harvested += self.harvest_per_link
+
+        missing_pairs = [
+            (a, b) for a, b in self.wraparound_pairs() if not topology.has_link(a, b)
+        ]
+        required = len(missing_pairs) * self.lanes_per_wraparound
+        if required > harvested:
+            raise ValueError(
+                f"plan needs {required} lanes for wrap-around links but only "
+                f"{harvested} can be harvested"
+            )
+        for a, b in missing_pairs:
+            commands.append(
+                PLPCommand(
+                    type=PLPCommandType.CREATE_LINK,
+                    endpoints=(a, b),
+                    params={"lanes": self.lanes_per_wraparound},
+                )
+            )
+
+        plan = ReconfigurationPlan(
+            name=f"grid-to-torus-{self.rows}x{self.columns}",
+            commands=commands,
+            rationale=(
+                f"harvest {self.harvest_per_link} lane(s) from {len(grid_links)} grid links, "
+                f"create {len(missing_pairs)} wrap-around links of "
+                f"{self.lanes_per_wraparound} lane(s)"
+            ),
+        )
+        plan.expected_duration = plan.duration_with(delays)
+        return plan
+
+
+class ReconfigurationPlanner:
+    """Go/no-go decisions for reconfiguration plans.
+
+    The planner compares the estimated time to drain the offered demand
+    before and after the plan, charges the plan's duration as its cost, and
+    requires the benefit to exceed the cost by a hysteresis factor.  It also
+    enforces a minimum interval between reconfigurations so that a noisy
+    congestion signal cannot flap the topology.
+    """
+
+    def __init__(
+        self,
+        delays: Optional[ReconfigurationDelays] = None,
+        hysteresis: float = 1.5,
+        min_interval: float = 0.0,
+    ) -> None:
+        if hysteresis < 1.0:
+            raise ValueError("hysteresis must be >= 1.0")
+        if min_interval < 0:
+            raise ValueError("min_interval must be >= 0")
+        self.delays = delays if delays is not None else ReconfigurationDelays()
+        self.hysteresis = hysteresis
+        self.min_interval = min_interval
+        self.last_reconfiguration_at: Optional[float] = None
+        self.decisions: List[Dict[str, float]] = []
+
+    def should_apply(
+        self,
+        plan: ReconfigurationPlan,
+        demand_bits: float,
+        current_rate_bps: float,
+        reconfigured_rate_bps: float,
+        now: float = 0.0,
+    ) -> bool:
+        """Whether *plan* should be applied to serve *demand_bits*.
+
+        *current_rate_bps* and *reconfigured_rate_bps* are the effective
+        service rates for the demand before and after the plan (for the
+        grid-to-torus case the caller estimates these from the bottleneck
+        utilisation or bisection bandwidth).
+        """
+        if demand_bits < 0:
+            raise ValueError("demand_bits must be >= 0")
+        if self.last_reconfiguration_at is not None and (
+            now - self.last_reconfiguration_at < self.min_interval
+        ):
+            self._record(now, plan, 0.0, False, "within min interval")
+            return False
+        duration = plan.duration_with(self.delays)
+        gain = reconfiguration_gain(
+            demand_bits, current_rate_bps, reconfigured_rate_bps, duration
+        )
+        # The gain must cover the cost (already subtracted) scaled by the
+        # hysteresis margin of the *remaining* benefit.
+        required_margin = duration * (self.hysteresis - 1.0)
+        decision = gain > required_margin
+        self._record(now, plan, gain, decision, "")
+        return decision
+
+    def commit(self, now: float) -> None:
+        """Record that a reconfiguration was actually applied at *now*."""
+        self.last_reconfiguration_at = now
+
+    def _record(
+        self,
+        now: float,
+        plan: ReconfigurationPlan,
+        gain: float,
+        decision: bool,
+        note: str,
+    ) -> None:
+        self.decisions.append(
+            {
+                "time": now,
+                "plan_commands": float(plan.command_count),
+                "gain": gain,
+                "applied": 1.0 if decision else 0.0,
+            }
+        )

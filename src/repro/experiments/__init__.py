@@ -1,0 +1,25 @@
+"""Shared experiment harness used by the benchmarks and the examples."""
+
+from repro.experiments.harness import (
+    ExperimentResult,
+    run_adaptive_experiment,
+    run_fluid_experiment,
+    build_grid_fabric,
+    build_torus_fabric,
+)
+from repro.experiments.figures import (
+    figure1_rows,
+    figure2_rows,
+    mapreduce_comparison_rows,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "run_adaptive_experiment",
+    "run_fluid_experiment",
+    "build_grid_fabric",
+    "build_torus_fabric",
+    "figure1_rows",
+    "figure2_rows",
+    "mapreduce_comparison_rows",
+]

@@ -1,0 +1,170 @@
+"""End-to-end experiment harness.
+
+Every benchmark and example follows the same shape: build a fabric, generate
+a workload, run it through the fluid simulator (optionally with a Closed
+Ring Control attached), and summarise the flow completion metrics.  The
+harness keeps that shape in one place so the benchmarks stay declarative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.crc import ClosedRingControl, CRCConfig
+from repro.fabric.fabric import Fabric, FabricConfig
+from repro.fabric.topology import Topology, TopologyBuilder
+from repro.sim.flow import Flow, FlowSet
+from repro.sim.fluid import FluidFlowSimulator, FluidResult
+from repro.sim.units import GBPS
+from repro.telemetry.metrics import straggler_ratio
+
+
+@dataclass
+class ExperimentResult:
+    """Everything a benchmark needs to report one experiment run."""
+
+    label: str
+    fluid: FluidResult
+    flows: FlowSet
+    crc_summary: Dict[str, float] = field(default_factory=dict)
+    power_watts: float = 0.0
+
+    @property
+    def makespan(self) -> Optional[float]:
+        """Time to complete the whole workload."""
+        return self.flows.makespan()
+
+    @property
+    def mean_fct(self) -> Optional[float]:
+        """Mean flow completion time."""
+        return self.flows.mean_fct()
+
+    @property
+    def p99_fct(self) -> Optional[float]:
+        """99th-percentile flow completion time."""
+        return self.flows.fct_percentile(99.0)
+
+    @property
+    def straggler(self) -> Optional[float]:
+        """Straggler ratio (max FCT / median FCT)."""
+        return straggler_ratio(self.flows)
+
+    def summary_row(self) -> List[object]:
+        """A standard table row: label, makespan, mean, p99, straggler, power."""
+        return [
+            self.label,
+            self.makespan,
+            self.mean_fct,
+            self.p99_fct,
+            self.straggler,
+            self.power_watts,
+        ]
+
+
+# --------------------------------------------------------------------------- #
+# Fabric construction helpers
+# --------------------------------------------------------------------------- #
+def build_grid_fabric(
+    rows: int,
+    columns: int,
+    lanes_per_link: int = 2,
+    lane_rate_bps: float = 25 * GBPS,
+    config: Optional[FabricConfig] = None,
+) -> Fabric:
+    """The paper's initial configuration: a grid at ``lanes_per_link`` lanes."""
+    builder = TopologyBuilder(lanes_per_link=lanes_per_link, lane_rate_bps=lane_rate_bps)
+    topology = builder.grid(rows, columns)
+    return Fabric(topology, config if config is not None else FabricConfig())
+
+
+def build_torus_fabric(
+    rows: int,
+    columns: int,
+    lanes_per_link: int = 1,
+    lane_rate_bps: float = 25 * GBPS,
+    config: Optional[FabricConfig] = None,
+) -> Fabric:
+    """The paper's reconfigured target: a torus at ``lanes_per_link`` lanes."""
+    builder = TopologyBuilder(lanes_per_link=lanes_per_link, lane_rate_bps=lane_rate_bps)
+    topology = builder.torus(rows, columns)
+    return Fabric(topology, config if config is not None else FabricConfig())
+
+
+# --------------------------------------------------------------------------- #
+# Running experiments
+# --------------------------------------------------------------------------- #
+def run_fluid_experiment(
+    fabric: Fabric,
+    flows: Sequence[Flow],
+    label: str = "run",
+    crc: Optional[ClosedRingControl] = None,
+    control_period: Optional[float] = None,
+    flow_rate_limit_bps: Optional[float] = None,
+    until: Optional[float] = None,
+) -> ExperimentResult:
+    """Run *flows* over *fabric*, optionally under CRC control.
+
+    Flows are routed on the fabric's current router at admission time; when
+    a CRC is attached, it may change capacities and re-route active flows on
+    every control tick.
+    """
+    if flow_rate_limit_bps is None:
+        endpoints = fabric.topology.endpoints()
+        if endpoints:
+            flow_rate_limit_bps = min(
+                fabric.topology.node(name).nic_rate_bps for name in endpoints
+            )
+    simulator = FluidFlowSimulator(flow_rate_limit_bps=flow_rate_limit_bps)
+    for key, capacity in fabric.directed_capacities().items():
+        simulator.add_link(key, capacity)
+    for flow in flows:
+        keys = fabric.route_keys(flow.src, flow.dst, flow_id=flow.flow_id)
+        simulator.add_flow(flow, keys)
+    if crc is not None:
+        crc.attach(simulator, period=control_period)
+    fluid_result = simulator.run(until=until)
+    flow_set = FlowSet(flows)
+    power = fabric.power_report().total_watts
+    return ExperimentResult(
+        label=label,
+        fluid=fluid_result,
+        flows=flow_set,
+        crc_summary=crc.summary() if crc is not None else {},
+        power_watts=power,
+    )
+
+
+def run_adaptive_experiment(
+    rows: int,
+    columns: int,
+    flows: Sequence[Flow],
+    lanes_per_link: int = 2,
+    crc_config: Optional[CRCConfig] = None,
+    label: str = "adaptive",
+    fabric_config: Optional[FabricConfig] = None,
+) -> Tuple[ExperimentResult, ClosedRingControl]:
+    """Run the canonical adaptive scenario: grid fabric + CRC with the
+    grid-to-torus latency policy enabled.
+
+    Returns both the experiment result and the controller so callers can
+    inspect how many reconfigurations happened and when.
+    """
+    fabric = build_grid_fabric(
+        rows, columns, lanes_per_link=lanes_per_link, config=fabric_config
+    )
+    if crc_config is None:
+        crc_config = CRCConfig(
+            enable_topology_reconfiguration=True,
+            grid_rows=rows,
+            grid_columns=columns,
+        )
+    crc = ClosedRingControl(fabric, crc_config)
+    result = run_fluid_experiment(
+        fabric,
+        flows,
+        label=label,
+        crc=crc,
+        control_period=crc_config.control_period,
+    )
+    return result, crc

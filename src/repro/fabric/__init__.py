@@ -1,0 +1,48 @@
+"""Rack fabric substrate: nodes, switches, topologies, routing and assembly.
+
+A rack-scale system in the paper's sense is a dense collection of
+disaggregated sleds (compute, NVMe storage, DRAM, accelerators) joined by a
+direct-connect fabric in which every sled's NIC also forwards transit
+traffic through an embedded cut-through switching element.  This package
+provides those building blocks and the topology builders (grid, torus,
+ring, mesh, fat-tree, hypercube) the experiments reconfigure between.
+"""
+
+from repro.fabric.fabric import Fabric, FabricConfig
+from repro.fabric.failures import (
+    FailureEvent,
+    FailureInjector,
+    FailureKind,
+    random_failure_plan,
+)
+from repro.fabric.node import Node, NodeType
+from repro.fabric.routing import (
+    Router,
+    RoutingPolicy,
+    ecmp_paths,
+    k_shortest_paths,
+    shortest_path,
+)
+from repro.fabric.switch import CutThroughSwitch, StoreAndForwardSwitch, SwitchModel
+from repro.fabric.topology import Topology, TopologyBuilder
+
+__all__ = [
+    "Fabric",
+    "FabricConfig",
+    "FailureEvent",
+    "FailureInjector",
+    "FailureKind",
+    "random_failure_plan",
+    "Node",
+    "NodeType",
+    "Router",
+    "RoutingPolicy",
+    "ecmp_paths",
+    "k_shortest_paths",
+    "shortest_path",
+    "CutThroughSwitch",
+    "StoreAndForwardSwitch",
+    "SwitchModel",
+    "Topology",
+    "TopologyBuilder",
+]

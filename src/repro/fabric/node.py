@@ -1,0 +1,102 @@
+"""Node (sled) model.
+
+The paper strips the traditional cpu-board-centric server apart and
+re-populates the rack with components sized to the relevant metric -- NVMe
+sleds for fast storage, DRAM sleds for caching, compute sleds, accelerators.
+Each sled attaches to the fabric through a NIC with an embedded switching
+element, so sleds both source/sink traffic and forward transit traffic in
+direct-connect topologies.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.sim.units import GBPS
+
+
+class NodeType(enum.Enum):
+    """Role of a sled in the disaggregated rack."""
+
+    COMPUTE = "compute"
+    NVME_STORAGE = "nvme"
+    DRAM = "dram"
+    ACCELERATOR = "accelerator"
+    SWITCH = "switch"
+
+    @property
+    def is_endpoint(self) -> bool:
+        """Whether the node sources and sinks application traffic."""
+        return self is not NodeType.SWITCH
+
+
+#: Typical sled power draw (watts) by role, used by rack-level power reports.
+DEFAULT_NODE_POWER_WATTS = {
+    NodeType.COMPUTE: 250.0,
+    NodeType.NVME_STORAGE: 120.0,
+    NodeType.DRAM: 90.0,
+    NodeType.ACCELERATOR: 300.0,
+    NodeType.SWITCH: 0.0,  # switch power is modelled by PowerModel separately
+}
+
+
+@dataclass
+class Node:
+    """A sled attached to the rack fabric.
+
+    Attributes
+    ----------
+    name:
+        Unique identifier within the fabric.
+    node_type:
+        Role of the sled.
+    nic_rate_bps:
+        Line rate of the sled's NIC; flows sourced at the node cannot exceed
+        this regardless of fabric capacity.
+    radix:
+        Number of fabric ports on the sled (how many neighbours it can have
+        in a direct-connect topology).
+    position:
+        Optional ``(row, column)`` placement inside the rack, used to derive
+        cable lengths for the media model (the paper assumes roughly 2 m
+        between adjacent switching elements).
+    """
+
+    name: str
+    node_type: NodeType = NodeType.COMPUTE
+    nic_rate_bps: float = 100 * GBPS
+    radix: int = 4
+    position: Optional[Tuple[int, int]] = None
+    power_watts: float = field(default=-1.0)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("node name must be non-empty")
+        if self.nic_rate_bps <= 0:
+            raise ValueError(f"nic_rate_bps must be positive, got {self.nic_rate_bps!r}")
+        if self.radix <= 0:
+            raise ValueError(f"radix must be positive, got {self.radix!r}")
+        if self.power_watts < 0:
+            self.power_watts = DEFAULT_NODE_POWER_WATTS[self.node_type]
+
+    @property
+    def is_endpoint(self) -> bool:
+        """Whether the node sources and sinks application traffic."""
+        return self.node_type.is_endpoint
+
+    def distance_to(self, other: "Node", spacing_meters: float = 2.0) -> float:
+        """Manhattan cable distance to *other* given a rack grid spacing.
+
+        Falls back to *spacing_meters* when either node has no position --
+        adjacent elements in the paper's Figure 1 are 2 m apart.
+        """
+        if self.position is None or other.position is None:
+            return spacing_meters
+        dr = abs(self.position[0] - other.position[0])
+        dc = abs(self.position[1] - other.position[1])
+        return max(1, dr + dc) * spacing_meters
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Node({self.name!r}, {self.node_type.value})"

@@ -1,0 +1,211 @@
+"""Packet-level simulation over a :class:`~repro.fabric.fabric.Fabric`.
+
+This is the detailed (per-packet) companion of the fluid simulator.  It is
+used for the small-scale experiments -- the Figure 1 latency breakdown and
+the E6 validation run that stands in for the paper's hardware proof of
+concept -- where per-packet latency and its decomposition matter, and where
+the packet count stays small enough for an interpreted event loop.
+
+Model
+-----
+Each directed link ``(a, b)`` has a single transmitter that serialises one
+packet at a time.  A packet's journey is simulated hop by hop:
+
+1. the packet waits for the transmitter of the outgoing link to be free
+   (queueing delay),
+2. its first bit leaves after any switching delay at the forwarding element
+   (cut-through: header time + pipeline; store-and-forward: full packet
+   receive + pipeline),
+3. the first bit arrives at the next element after the link's propagation
+   plus SerDes/FEC latency,
+4. the transmitter stays busy for the packet's serialization time.
+
+On an idle fabric this reproduces exactly the closed-form breakdown of
+:meth:`repro.fabric.fabric.Fabric.path_latency`, which is what the
+validation test asserts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.fabric.fabric import Fabric
+from repro.sim.engine import Simulator
+from repro.sim.packet import HopRecord, Packet
+from repro.sim.trace import NullTrace, TraceRecorder
+
+DirectedKey = Tuple[str, str]
+
+
+@dataclass
+class PortState:
+    """Transmitter state of one directed link."""
+
+    busy_until: float = 0.0
+    packets_sent: int = 0
+    packets_dropped: int = 0
+    bits_sent: float = 0.0
+    #: Maximum tolerated waiting time before the port drops a packet,
+    #: i.e. the drain time of the output buffer.
+    max_wait: float = field(default=float("inf"))
+
+
+class PacketLevelNetwork:
+    """Event-driven packet forwarding over a fabric."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        fabric: Fabric,
+        trace: Optional[TraceRecorder] = None,
+    ) -> None:
+        self.simulator = simulator
+        self.fabric = fabric
+        self.trace = trace if trace is not None else NullTrace()
+        self._ports: Dict[DirectedKey, PortState] = {}
+        self.delivered: List[Packet] = []
+        self.dropped: List[Packet] = []
+
+    # ------------------------------------------------------------------ #
+    # Port bookkeeping
+    # ------------------------------------------------------------------ #
+    def _port(self, key: DirectedKey) -> PortState:
+        if key not in self._ports:
+            a, b = key
+            link = self.fabric.topology.link_between(a, b)
+            capacity = link.capacity_bps
+            buffer_bits = self.fabric.config.switch_model.buffer_bits
+            max_wait = buffer_bits / capacity if capacity > 0 else 0.0
+            self._ports[key] = PortState(max_wait=max_wait)
+        return self._ports[key]
+
+    def port_stats(self) -> Dict[DirectedKey, PortState]:
+        """Per-directed-link transmitter statistics."""
+        return dict(self._ports)
+
+    # ------------------------------------------------------------------ #
+    # Injection
+    # ------------------------------------------------------------------ #
+    def inject(self, packet: Packet, path: Optional[Sequence[str]] = None) -> None:
+        """Schedule *packet* to enter the fabric at its creation time.
+
+        The path defaults to the fabric router's choice for the packet's
+        source/destination pair.
+        """
+        if path is None:
+            path = self.fabric.router.path(packet.src, packet.dst, flow_id=packet.flow_id)
+        path = list(path)
+        if path[0] != packet.src or path[-1] != packet.dst:
+            raise ValueError(
+                f"path {path} does not connect {packet.src!r} to {packet.dst!r}"
+            )
+        self.simulator.schedule_at(
+            packet.created_at, self._forward, packet, path, 0, packet.created_at
+        )
+
+    def inject_all(self, packets: Sequence[Packet]) -> None:
+        """Inject a batch of packets."""
+        for packet in packets:
+            self.inject(packet)
+
+    # ------------------------------------------------------------------ #
+    # Hop-by-hop forwarding
+    # ------------------------------------------------------------------ #
+    def _forward(
+        self, packet: Packet, path: List[str], hop_index: int, head_available: float
+    ) -> None:
+        """Forward *packet* out of ``path[hop_index]`` towards the next node.
+
+        *head_available* is the time the packet's head became available for
+        forwarding at this element (arrival time at the element, or the
+        injection time at the source).
+        """
+        here = path[hop_index]
+        nxt = path[hop_index + 1]
+        link = self.fabric.topology.link_between(here, nxt)
+        key = (here, nxt)
+        port = self._port(key)
+        now = self.simulator.now
+
+        switching = 0.0
+        if hop_index > 0:
+            # Intermediate element: pay the forwarding (cut-through) latency.
+            switching = self.fabric.switch(here).forwarding_latency(packet.size_bits)
+        ready = head_available + switching
+
+        start_tx = max(ready, port.busy_until)
+        queueing = start_tx - ready
+        if queueing > port.max_wait:
+            packet.mark_dropped(f"buffer overflow at {here}->{nxt}")
+            port.packets_dropped += 1
+            self.dropped.append(packet)
+            self.fabric.stats_for(here, nxt).observe(drops=1, packets=1)
+            self.trace.record(
+                now, "packet_dropped", packet_id=packet.packet_id, at=f"{here}->{nxt}"
+            )
+            return
+
+        if link.capacity_bps <= 0:
+            packet.mark_dropped(f"link {here}->{nxt} has no active capacity")
+            port.packets_dropped += 1
+            self.dropped.append(packet)
+            return
+
+        serialization = link.serialization_delay(packet.size_bits)
+        port.busy_until = start_tx + serialization
+        port.packets_sent += 1
+        port.bits_sent += packet.size_bits
+        self.fabric.stats_for(here, nxt).observe(packets=1)
+
+        propagation = link.propagation_delay
+        phy = link.phy_latency
+        head_at_next = start_tx + propagation + phy
+
+        record = HopRecord(
+            element=here,
+            arrival=head_available,
+            departure=start_tx,
+            queueing=queueing,
+            switching=switching,
+            serialization=serialization if hop_index == 0 else 0.0,
+            propagation=propagation + phy,
+        )
+        packet.record_hop(record)
+
+        if hop_index + 1 == len(path) - 1:
+            # Next element is the destination: the packet is delivered once
+            # its last bit has arrived.
+            delivered_at = start_tx + serialization + propagation + phy
+            self.simulator.schedule_at(delivered_at, self._deliver, packet, path)
+        else:
+            self.simulator.schedule_at(
+                head_at_next, self._forward, packet, path, hop_index + 1, head_at_next
+            )
+
+    def _deliver(self, packet: Packet, path: List[str]) -> None:
+        packet.mark_delivered(self.simulator.now)
+        self.delivered.append(packet)
+        self.trace.record(
+            self.simulator.now,
+            "packet_delivered",
+            packet_id=packet.packet_id,
+            src=packet.src,
+            dst=packet.dst,
+            latency=packet.latency,
+            hops=len(path) - 1,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Result summaries
+    # ------------------------------------------------------------------ #
+    def latencies(self) -> List[float]:
+        """End-to-end latencies of all delivered packets."""
+        return [p.latency for p in self.delivered if p.latency is not None]
+
+    def delivery_fraction(self) -> float:
+        """Delivered packets over delivered plus dropped."""
+        total = len(self.delivered) + len(self.dropped)
+        if total == 0:
+            return 0.0
+        return len(self.delivered) / total

@@ -1,0 +1,202 @@
+"""Physical lane model.
+
+A *lane* is the smallest unit the Physical Layer Primitives manipulate: a
+single serial channel (one SerDes pair, or one wavelength under WDM) running
+at a fixed signalling rate.  Links are bundles of lanes
+(:mod:`repro.phy.link`); the PLP "link breaking/bundling" primitive moves
+lanes between bundles, and the "on/off" primitive gates individual lanes to
+save power.
+
+Lanes own their raw bit-error-rate (a property of the underlying channel and
+the media run length) and their power draw; both feed the per-lane
+statistics primitive and, through it, the Closed Ring Control.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.phy.media import COPPER_DAC, Media
+from repro.sim.units import GBPS, nanoseconds
+
+_lane_ids = itertools.count()
+
+
+def reset_lane_ids() -> None:
+    """Reset the global lane id counter (used by tests for determinism)."""
+    global _lane_ids
+    _lane_ids = itertools.count()
+
+
+class LaneState(enum.Enum):
+    """Operational state of a lane."""
+
+    ACTIVE = "active"
+    OFF = "off"
+    TRAINING = "training"
+    FAILED = "failed"
+
+
+#: Default time for a powered-off lane to retrain and become usable.  The
+#: electrical reconfigurable fabrics the paper cites (Shoal) retrain in
+#: sub-microsecond times; optical fabrics (ProjecToR) take tens of
+#: microseconds to milliseconds.  This default sits at the electrical end;
+#: experiments sweep it explicitly.
+DEFAULT_TRAINING_TIME = nanoseconds(500)
+
+#: Default per-lane SerDes latency (transmit + receive).
+DEFAULT_SERDES_LATENCY = nanoseconds(25)
+
+#: Default active power of a 25G SerDes lane (transceiver excluded).
+DEFAULT_LANE_POWER_WATTS = 0.75
+
+#: Power drawn by a lane that is off but still powered at standby.
+DEFAULT_STANDBY_POWER_WATTS = 0.05
+
+
+@dataclass
+class Lane:
+    """One serial lane.
+
+    Attributes
+    ----------
+    rate_bps:
+        Signalling rate of the lane in bits per second (default 25 Gb/s, the
+        canonical lane rate in the paper's 4x25G example).
+    raw_ber:
+        Pre-FEC bit error rate of the channel.
+    media:
+        The medium the lane runs over (affects power and reach).
+    length_meters:
+        Physical run length; used with the media for propagation delay and
+        loss-driven BER degradation.
+    state:
+        Current :class:`LaneState`.
+    """
+
+    rate_bps: float = 25 * GBPS
+    raw_ber: float = 1e-12
+    media: Media = COPPER_DAC
+    length_meters: float = 2.0
+    state: LaneState = LaneState.ACTIVE
+    serdes_latency: float = DEFAULT_SERDES_LATENCY
+    training_time: float = DEFAULT_TRAINING_TIME
+    active_power_watts: float = DEFAULT_LANE_POWER_WATTS
+    standby_power_watts: float = DEFAULT_STANDBY_POWER_WATTS
+    lane_id: int = field(default_factory=lambda: next(_lane_ids))
+    #: Simulation time at which an in-progress training completes.
+    training_complete_at: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.rate_bps <= 0:
+            raise ValueError(f"rate_bps must be positive, got {self.rate_bps!r}")
+        if not 0 <= self.raw_ber <= 1:
+            raise ValueError(f"raw_ber must be in [0, 1], got {self.raw_ber!r}")
+        if self.length_meters < 0:
+            raise ValueError(f"length_meters must be >= 0, got {self.length_meters!r}")
+        if self.serdes_latency < 0 or self.training_time < 0:
+            raise ValueError("latencies must be >= 0")
+        if self.active_power_watts < 0 or self.standby_power_watts < 0:
+            raise ValueError("power figures must be >= 0")
+
+    # ------------------------------------------------------------------ #
+    # State machine
+    # ------------------------------------------------------------------ #
+    @property
+    def usable(self) -> bool:
+        """Whether the lane currently carries traffic."""
+        return self.state is LaneState.ACTIVE
+
+    def turn_off(self) -> None:
+        """Power the lane down (PLP primitive 3)."""
+        if self.state is LaneState.FAILED:
+            raise ValueError(f"lane {self.lane_id} has failed and cannot change state")
+        self.state = LaneState.OFF
+        self.training_complete_at = None
+
+    def turn_on(self, now: float) -> float:
+        """Begin powering the lane up at time *now*.
+
+        The lane enters ``TRAINING`` and becomes ``ACTIVE`` once
+        :meth:`complete_training` is called at or after the returned time.
+        Returns the absolute time at which training completes.  Turning on a
+        lane that is already active is a no-op returning *now*.
+        """
+        if self.state is LaneState.FAILED:
+            raise ValueError(f"lane {self.lane_id} has failed and cannot be turned on")
+        if self.state is LaneState.ACTIVE:
+            return now
+        self.state = LaneState.TRAINING
+        self.training_complete_at = now + self.training_time
+        return self.training_complete_at
+
+    def complete_training(self, now: float) -> None:
+        """Finish an in-progress training sequence (idempotent for active lanes)."""
+        if self.state is LaneState.ACTIVE:
+            return
+        if self.state is not LaneState.TRAINING:
+            raise ValueError(
+                f"lane {self.lane_id} is {self.state.value}, not training"
+            )
+        if self.training_complete_at is not None and now + 1e-15 < self.training_complete_at:
+            raise ValueError(
+                f"training of lane {self.lane_id} completes at "
+                f"{self.training_complete_at}, not {now}"
+            )
+        self.state = LaneState.ACTIVE
+        self.training_complete_at = None
+
+    def fail(self) -> None:
+        """Mark the lane permanently failed (link-health experiments)."""
+        self.state = LaneState.FAILED
+        self.training_complete_at = None
+
+    # ------------------------------------------------------------------ #
+    # Derived quantities
+    # ------------------------------------------------------------------ #
+    @property
+    def effective_rate_bps(self) -> float:
+        """Rate contributed to the bundle: the full rate when active, else zero."""
+        return self.rate_bps if self.usable else 0.0
+
+    @property
+    def power_watts(self) -> float:
+        """Instantaneous power draw in the current state."""
+        if self.state is LaneState.ACTIVE or self.state is LaneState.TRAINING:
+            return self.active_power_watts + self.media.power_per_lane_watts
+        if self.state is LaneState.OFF:
+            return self.standby_power_watts
+        return 0.0
+
+    @property
+    def propagation_delay(self) -> float:
+        """One-way propagation delay over the lane's media run."""
+        return self.media.propagation_delay(self.length_meters)
+
+    def degraded_ber(self, extra_loss_db: float = 0.0) -> float:
+        """Raw BER adjusted for the media loss of this run plus *extra_loss_db*.
+
+        A simple monotone degradation model: every 3 dB of loss beyond a
+        1 dB allowance multiplies the BER by 10, capped at 0.5.  The exact
+        shape is unimportant for the reproduction -- what matters is that
+        longer or lossier runs report worse health to the CRC, which then
+        assigns stronger FEC or routes around them.
+        """
+        loss = self.media.loss_db(self.length_meters) + extra_loss_db
+        excess = max(0.0, loss - 1.0)
+        if self.raw_ber == 0.0:
+            return 0.0
+        # Cap the exponent so extreme loss values saturate instead of
+        # overflowing; anything beyond ~300 dB of excess loss is 0.5 anyway.
+        exponent = min(excess / 3.0, 100.0)
+        degraded = self.raw_ber * (10.0**exponent)
+        return min(degraded, 0.5)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Lane(id={self.lane_id}, {self.rate_bps / GBPS:.0f}G, "
+            f"{self.state.value}, ber={self.raw_ber:.1e})"
+        )

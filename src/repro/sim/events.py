@@ -1,0 +1,103 @@
+"""Structured event payloads shared across the simulator and telemetry.
+
+The engine itself only cares about callables; these dataclasses give the
+higher layers (switch models, the CRC controller, the telemetry collector)
+a common vocabulary to record in traces and to pass between components.
+Every payload carries the simulation time at which it occurred so trace
+consumers never need access to the simulator clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class PacketSent:
+    """A packet finished serialising onto a link at ``time``."""
+
+    time: float
+    packet_id: int
+    flow_id: Optional[int]
+    src: str
+    dst: str
+    link: Tuple[str, str]
+    size_bits: float
+
+
+@dataclass(frozen=True)
+class PacketReceived:
+    """A packet was fully received by its destination node at ``time``."""
+
+    time: float
+    packet_id: int
+    flow_id: Optional[int]
+    src: str
+    dst: str
+    latency: float
+    hops: int
+
+
+@dataclass(frozen=True)
+class PacketDropped:
+    """A packet was dropped (queue overflow or dead link) at ``time``."""
+
+    time: float
+    packet_id: int
+    flow_id: Optional[int]
+    at: str
+    reason: str
+
+
+@dataclass(frozen=True)
+class FlowStarted:
+    """A flow was admitted into the fabric at ``time``."""
+
+    time: float
+    flow_id: int
+    src: str
+    dst: str
+    size_bits: float
+
+
+@dataclass(frozen=True)
+class FlowCompleted:
+    """A flow delivered its last bit at ``time``."""
+
+    time: float
+    flow_id: int
+    src: str
+    dst: str
+    size_bits: float
+    completion_time: float
+
+
+@dataclass(frozen=True)
+class ReconfigurationStarted:
+    """The CRC began applying a batch of PLP commands at ``time``."""
+
+    time: float
+    commands: int
+    reason: str
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class ReconfigurationCompleted:
+    """A reconfiguration finished and the fabric is stable again at ``time``."""
+
+    time: float
+    commands: int
+    duration: float
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class ControlTick:
+    """One iteration of the CRC closed loop executed at ``time``."""
+
+    time: float
+    iteration: int
+    links_observed: int
+    commands_issued: int

@@ -1,0 +1,429 @@
+"""Flow-level (fluid) simulation with max-min fair bandwidth sharing.
+
+Packet-level simulation of a rack with hundreds of nodes and thousands of
+flows is possible but needlessly slow for the experiments that only care
+about flow completion times and link utilisation (the MapReduce shuffle and
+grid-to-torus experiments).  The fluid model treats each flow as a fluid
+stream whose instantaneous rate is the max-min fair allocation over the
+links on its path; rates only change at *events* (flow arrival, flow
+completion, capacity change, reroute, control tick), so the simulation can
+jump from event to event analytically.
+
+This is the standard flow-level abstraction used by reconfigurable-network
+papers when comparing topologies, and it composes naturally with the Closed
+Ring Control: the controller registers a periodic callback, observes link
+utilisation, and mutates capacities/routes to model PLP commands.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+
+from repro.sim.flow import Flow, FlowSet, FlowState
+from repro.sim.trace import NullTrace, TraceRecorder
+
+LinkKey = Hashable
+
+#: Numerical tolerance for "no bits remaining" and rate comparisons.
+_EPSILON = 1e-9
+
+
+@dataclass
+class FluidLink:
+    """A unidirectional capacity-constrained resource in the fluid model."""
+
+    key: LinkKey
+    capacity_bps: float
+    #: Bits carried so far (integrated over time), for utilisation reports.
+    bits_carried: float = 0.0
+    #: Whether the link currently accepts traffic.
+    enabled: bool = True
+
+    def __post_init__(self) -> None:
+        if self.capacity_bps < 0:
+            raise ValueError(f"capacity must be >= 0, got {self.capacity_bps!r}")
+
+    @property
+    def effective_capacity(self) -> float:
+        """Capacity available for allocation (zero when disabled)."""
+        return self.capacity_bps if self.enabled else 0.0
+
+
+@dataclass
+class FluidResult:
+    """Outcome of a fluid simulation run."""
+
+    flows: FlowSet
+    end_time: float
+    events_processed: int
+    link_bits_carried: Dict[LinkKey, float]
+    link_capacities: Dict[LinkKey, float]
+    trace: TraceRecorder
+
+    def link_utilisation(self, duration: Optional[float] = None) -> Dict[LinkKey, float]:
+        """Average utilisation of each link over *duration* (defaults to ``end_time``)."""
+        horizon = duration if duration is not None else self.end_time
+        if horizon <= 0:
+            return {key: 0.0 for key in self.link_bits_carried}
+        utilisation = {}
+        for key, bits in self.link_bits_carried.items():
+            capacity = self.link_capacities.get(key, 0.0)
+            utilisation[key] = bits / (capacity * horizon) if capacity > 0 else 0.0
+        return utilisation
+
+
+class FluidFlowSimulator:
+    """Event-driven fluid simulator.
+
+    Parameters
+    ----------
+    trace:
+        Optional :class:`TraceRecorder`; pass :class:`NullTrace` (the
+        default) for large sweeps.
+    flow_rate_limit_bps:
+        Optional per-flow cap modelling the sender NIC line rate.
+    """
+
+    def __init__(
+        self,
+        trace: Optional[TraceRecorder] = None,
+        flow_rate_limit_bps: Optional[float] = None,
+    ) -> None:
+        self.trace = trace if trace is not None else NullTrace()
+        self.flow_rate_limit_bps = flow_rate_limit_bps
+        self._links: Dict[LinkKey, FluidLink] = {}
+        self._pending: List[Tuple[float, Flow, List[LinkKey]]] = []
+        self._active: Dict[int, Flow] = {}
+        self._routes: Dict[int, List[LinkKey]] = {}
+        self._rates: Dict[int, float] = {}
+        self._all_flows = FlowSet()
+        self._now = 0.0
+        self._events = 0
+        self._controllers: List[Tuple[float, Callable[["FluidFlowSimulator", float], None], float]] = []
+
+    # ------------------------------------------------------------------ #
+    # Configuration
+    # ------------------------------------------------------------------ #
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    def add_link(self, key: LinkKey, capacity_bps: float) -> FluidLink:
+        """Register (or replace) a link with the given capacity."""
+        link = FluidLink(key=key, capacity_bps=capacity_bps)
+        self._links[key] = link
+        return link
+
+    def has_link(self, key: LinkKey) -> bool:
+        """Whether a link with *key* is registered."""
+        return key in self._links
+
+    def link(self, key: LinkKey) -> FluidLink:
+        """Return the registered link for *key* (KeyError if missing)."""
+        return self._links[key]
+
+    def links(self) -> Dict[LinkKey, FluidLink]:
+        """All registered links keyed by their key."""
+        return dict(self._links)
+
+    def set_capacity(self, key: LinkKey, capacity_bps: float) -> None:
+        """Change a link's capacity (takes effect at the next rate computation)."""
+        if capacity_bps < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity_bps!r}")
+        self._links[key].capacity_bps = capacity_bps
+
+    def set_enabled(self, key: LinkKey, enabled: bool) -> None:
+        """Enable or disable a link."""
+        self._links[key].enabled = enabled
+
+    def add_flow(self, flow: Flow, path: Sequence[LinkKey]) -> None:
+        """Register *flow* to start at ``flow.start_time`` along *path*.
+
+        Every link key on the path must already be registered.  A flow with
+        an empty path (source and destination co-located on one sled) is
+        rejected at registration time because the fluid model cannot assign
+        it a rate.
+        """
+        if not path:
+            raise ValueError(f"flow {flow.flow_id} has an empty path")
+        missing = [key for key in path if key not in self._links]
+        if missing:
+            raise KeyError(f"flow {flow.flow_id} uses unknown links: {missing}")
+        self._pending.append((flow.start_time, flow, list(path)))
+        self._all_flows.add(flow)
+
+    def add_controller(
+        self,
+        period: float,
+        callback: Callable[["FluidFlowSimulator", float], None],
+        start_offset: float = 0.0,
+    ) -> None:
+        """Register a periodic controller callback (the CRC hook).
+
+        The callback receives the simulator and the current time; it may call
+        :meth:`set_capacity`, :meth:`set_enabled`, :meth:`add_link`,
+        :meth:`reroute` and :meth:`active_flow_rates`.
+        """
+        if period <= 0:
+            raise ValueError(f"controller period must be positive, got {period!r}")
+        self._controllers.append((period, callback, start_offset))
+
+    # ------------------------------------------------------------------ #
+    # Controller-facing runtime API
+    # ------------------------------------------------------------------ #
+    def reroute(self, flow_id: int, new_path: Sequence[LinkKey]) -> None:
+        """Move an active flow onto a new path."""
+        if flow_id not in self._active:
+            raise KeyError(f"flow {flow_id} is not active")
+        if not new_path:
+            raise ValueError("new path must not be empty")
+        missing = [key for key in new_path if key not in self._links]
+        if missing:
+            raise KeyError(f"reroute of flow {flow_id} uses unknown links: {missing}")
+        self._routes[flow_id] = list(new_path)
+        self._active[flow_id].path = [str(key) for key in new_path]
+
+    def active_flows(self) -> List[Flow]:
+        """Currently active flows."""
+        return list(self._active.values())
+
+    def active_flow_rates(self) -> Dict[int, float]:
+        """Current max-min fair rate of each active flow."""
+        return dict(self._rates)
+
+    def route_of(self, flow_id: int) -> List[LinkKey]:
+        """Path of an active flow."""
+        return list(self._routes[flow_id])
+
+    def instantaneous_link_load(self) -> Dict[LinkKey, float]:
+        """Sum of current flow rates crossing each link (bps)."""
+        load: Dict[LinkKey, float] = {key: 0.0 for key in self._links}
+        for flow_id, rate in self._rates.items():
+            for key in self._routes.get(flow_id, []):
+                load[key] += rate
+        return load
+
+    def instantaneous_link_utilisation(self) -> Dict[LinkKey, float]:
+        """Current load divided by capacity for each enabled link."""
+        load = self.instantaneous_link_load()
+        utilisation: Dict[LinkKey, float] = {}
+        for key, link in self._links.items():
+            capacity = link.effective_capacity
+            utilisation[key] = load[key] / capacity if capacity > 0 else 0.0
+        return utilisation
+
+    # ------------------------------------------------------------------ #
+    # Rate allocation
+    # ------------------------------------------------------------------ #
+    def _compute_rates(self) -> Dict[int, float]:
+        """Max-min fair allocation by progressive filling.
+
+        Flows crossing a disabled or zero-capacity link receive rate zero
+        (they stall until the controller restores capacity or reroutes them).
+        """
+        unassigned = set(self._active.keys())
+        rates: Dict[int, float] = {}
+        # Stalled flows: any link on the path has zero effective capacity.
+        for flow_id in list(unassigned):
+            path = self._routes[flow_id]
+            if any(self._links[key].effective_capacity <= _EPSILON for key in path):
+                rates[flow_id] = 0.0
+                unassigned.discard(flow_id)
+
+        remaining_capacity: Dict[LinkKey, float] = {
+            key: link.effective_capacity for key, link in self._links.items()
+        }
+        flows_on_link: Dict[LinkKey, set] = {key: set() for key in self._links}
+        for flow_id in unassigned:
+            for key in self._routes[flow_id]:
+                flows_on_link[key].add(flow_id)
+
+        limit = self.flow_rate_limit_bps
+        while unassigned:
+            # Fair share on each link still carrying unassigned flows.
+            bottleneck_key = None
+            bottleneck_share = math.inf
+            for key, flow_ids in flows_on_link.items():
+                active_here = flow_ids & unassigned
+                if not active_here:
+                    continue
+                share = remaining_capacity[key] / len(active_here)
+                if share < bottleneck_share:
+                    bottleneck_share = share
+                    bottleneck_key = key
+            if bottleneck_key is None:
+                # Remaining flows cross no constrained link; cap by NIC limit.
+                for flow_id in unassigned:
+                    rates[flow_id] = limit if limit is not None else math.inf
+                break
+            if limit is not None and limit < bottleneck_share:
+                # NIC limit binds before the network bottleneck: fix every
+                # remaining flow at the limit and release capacity.
+                for flow_id in list(unassigned):
+                    rates[flow_id] = limit
+                    for key in self._routes[flow_id]:
+                        remaining_capacity[key] = max(
+                            0.0, remaining_capacity[key] - limit
+                        )
+                    unassigned.discard(flow_id)
+                break
+            saturated = flows_on_link[bottleneck_key] & unassigned
+            for flow_id in saturated:
+                rates[flow_id] = bottleneck_share
+                for key in self._routes[flow_id]:
+                    remaining_capacity[key] = max(
+                        0.0, remaining_capacity[key] - bottleneck_share
+                    )
+                unassigned.discard(flow_id)
+            remaining_capacity[bottleneck_key] = 0.0
+        return rates
+
+    # ------------------------------------------------------------------ #
+    # Simulation loop
+    # ------------------------------------------------------------------ #
+    def run(self, until: Optional[float] = None, max_events: int = 10_000_000) -> FluidResult:
+        """Run the simulation to completion (or *until*).
+
+        The loop advances between events, integrating flow progress at the
+        current rates.  Events are: the next pending flow arrival, the next
+        predicted flow completion, and the next controller tick.
+        """
+        self._pending.sort(key=lambda item: item[0])
+        pending_index = 0
+        controller_next: List[float] = [
+            offset for (_, _, offset) in self._controllers
+        ]
+
+        def next_arrival_time() -> float:
+            if pending_index < len(self._pending):
+                return self._pending[pending_index][0]
+            return math.inf
+
+        def next_controller_time() -> float:
+            return min(controller_next) if controller_next else math.inf
+
+        self._rates = self._compute_rates()
+
+        while self._events < max_events:
+            completion_time, completing_id = self._predict_next_completion()
+            arrival_time = next_arrival_time()
+            control_time = next_controller_time()
+            next_time = min(completion_time, arrival_time, control_time)
+
+            if math.isinf(next_time):
+                break
+            if (
+                until is None
+                and not self._active
+                and pending_index >= len(self._pending)
+                and next_time == control_time
+            ):
+                # Only controller ticks remain and there is no traffic left
+                # for them to act on: the run is complete.
+                break
+            if until is not None and next_time > until:
+                self._advance_to(until)
+                break
+
+            self._advance_to(next_time)
+            self._events += 1
+
+            if next_time == completion_time and completing_id is not None:
+                self._complete_flow(completing_id)
+            elif next_time == arrival_time:
+                while (
+                    pending_index < len(self._pending)
+                    and self._pending[pending_index][0] <= self._now + _EPSILON
+                ):
+                    _, flow, path = self._pending[pending_index]
+                    pending_index += 1
+                    self._admit(flow, path)
+            else:
+                for index, (period, callback, _) in enumerate(self._controllers):
+                    if abs(controller_next[index] - next_time) <= _EPSILON:
+                        callback(self, self._now)
+                        controller_next[index] = next_time + period
+            self._rates = self._compute_rates()
+
+        end_time = self._now if until is None else max(self._now, until if until is not None else 0.0)
+        return FluidResult(
+            flows=self._all_flows,
+            end_time=end_time,
+            events_processed=self._events,
+            link_bits_carried={key: link.bits_carried for key, link in self._links.items()},
+            link_capacities={key: link.capacity_bps for key, link in self._links.items()},
+            trace=self.trace,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _admit(self, flow: Flow, path: List[LinkKey]) -> None:
+        flow.activate(self._now)
+        self._active[flow.flow_id] = flow
+        self._routes[flow.flow_id] = path
+        flow.path = [str(key) for key in path]
+        self.trace.record(
+            self._now,
+            "flow_started",
+            flow_id=flow.flow_id,
+            src=flow.src,
+            dst=flow.dst,
+            size_bits=flow.size_bits,
+        )
+
+    def _complete_flow(self, flow_id: int) -> None:
+        flow = self._active.pop(flow_id)
+        self._routes.pop(flow_id, None)
+        self._rates.pop(flow_id, None)
+        flow.complete(self._now)
+        self.trace.record(
+            self._now,
+            "flow_completed",
+            flow_id=flow.flow_id,
+            fct=flow.fct,
+            size_bits=flow.size_bits,
+        )
+
+    def _predict_next_completion(self) -> Tuple[float, Optional[int]]:
+        best_time = math.inf
+        best_flow: Optional[int] = None
+        for flow_id, flow in self._active.items():
+            rate = self._rates.get(flow_id, 0.0)
+            if rate <= _EPSILON:
+                continue
+            eta = self._now + flow.bits_remaining / rate
+            if eta < best_time:
+                best_time = eta
+                best_flow = flow_id
+        return best_time, best_flow
+
+    def _advance_to(self, time: float) -> None:
+        elapsed = time - self._now
+        if elapsed < -_EPSILON:
+            raise ValueError(f"fluid simulator cannot move backwards ({elapsed})")
+        if elapsed > 0:
+            for flow_id, flow in self._active.items():
+                rate = self._rates.get(flow_id, 0.0)
+                transferred = flow.transfer(rate * elapsed)
+                if transferred > 0:
+                    for key in self._routes[flow_id]:
+                        self._links[key].bits_carried += transferred
+        self._now = time
+
+
+def simulate_static_flows(
+    link_capacities: Dict[LinkKey, float],
+    flows_and_paths: Iterable[Tuple[Flow, Sequence[LinkKey]]],
+    flow_rate_limit_bps: Optional[float] = None,
+) -> FluidResult:
+    """Convenience wrapper: build a simulator, add everything, run to completion."""
+    simulator = FluidFlowSimulator(flow_rate_limit_bps=flow_rate_limit_bps)
+    for key, capacity in link_capacities.items():
+        simulator.add_link(key, capacity)
+    for flow, path in flows_and_paths:
+        simulator.add_flow(flow, path)
+    return simulator.run()

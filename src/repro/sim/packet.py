@@ -1,0 +1,160 @@
+"""Packet representation for packet-level simulation.
+
+Packets carry a per-hop record so that latency experiments (Figure 1 of the
+paper) can attribute the end-to-end delay to its components: serialization,
+propagation through the media, switching logic, and queueing.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.sim.units import bits_from_bytes
+
+_packet_ids = itertools.count()
+
+
+def reset_packet_ids() -> None:
+    """Reset the global packet id counter (used by tests for determinism)."""
+    global _packet_ids
+    _packet_ids = itertools.count()
+
+
+@dataclass
+class HopRecord:
+    """Timing record for one hop of a packet's journey.
+
+    Attributes
+    ----------
+    element:
+        Name of the node/switch the packet traversed.
+    arrival:
+        Time the first bit arrived at the element.
+    departure:
+        Time the first bit left the element towards the next hop.
+    queueing:
+        Time spent waiting in an output queue at this element.
+    switching:
+        Time spent in the element's switching/forwarding logic.
+    serialization:
+        Time spent clocking the packet onto the outgoing link.
+    propagation:
+        Time spent on the wire to the next element.
+    """
+
+    element: str
+    arrival: float
+    departure: float = 0.0
+    queueing: float = 0.0
+    switching: float = 0.0
+    serialization: float = 0.0
+    propagation: float = 0.0
+
+    def total(self) -> float:
+        """Total delay contributed by this hop."""
+        return self.queueing + self.switching + self.serialization + self.propagation
+
+
+@dataclass
+class Packet:
+    """A single packet travelling through the fabric.
+
+    The constructor assigns a globally unique ``packet_id`` unless one is
+    supplied explicitly, which tests do when they need stable ids.
+    """
+
+    src: str
+    dst: str
+    size_bits: float
+    created_at: float = 0.0
+    flow_id: Optional[int] = None
+    priority: int = 0
+    packet_id: int = field(default_factory=lambda: next(_packet_ids))
+    hops: List[HopRecord] = field(default_factory=list)
+    metadata: Dict[str, object] = field(default_factory=dict)
+    delivered_at: Optional[float] = None
+    dropped: bool = False
+    drop_reason: Optional[str] = None
+
+    @classmethod
+    def of_bytes(
+        cls,
+        src: str,
+        dst: str,
+        size_bytes: float,
+        created_at: float = 0.0,
+        flow_id: Optional[int] = None,
+        priority: int = 0,
+    ) -> "Packet":
+        """Build a packet whose size is given in bytes (the usual MTU units)."""
+        return cls(
+            src=src,
+            dst=dst,
+            size_bits=bits_from_bytes(size_bytes),
+            created_at=created_at,
+            flow_id=flow_id,
+            priority=priority,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Journey bookkeeping
+    # ------------------------------------------------------------------ #
+    def record_hop(self, record: HopRecord) -> None:
+        """Append a hop record to the packet's journey."""
+        self.hops.append(record)
+
+    def mark_delivered(self, time: float) -> None:
+        """Mark the packet as delivered at *time*."""
+        self.delivered_at = time
+
+    def mark_dropped(self, reason: str) -> None:
+        """Mark the packet as dropped with a human-readable reason."""
+        self.dropped = True
+        self.drop_reason = reason
+
+    # ------------------------------------------------------------------ #
+    # Derived quantities
+    # ------------------------------------------------------------------ #
+    @property
+    def latency(self) -> Optional[float]:
+        """End-to-end latency if delivered, else ``None``."""
+        if self.delivered_at is None:
+            return None
+        return self.delivered_at - self.created_at
+
+    @property
+    def hop_count(self) -> int:
+        """Number of elements traversed so far."""
+        return len(self.hops)
+
+    def delay_breakdown(self) -> Dict[str, float]:
+        """Aggregate the per-hop records into delay components.
+
+        Returns a dictionary with keys ``queueing``, ``switching``,
+        ``serialization`` and ``propagation``; values sum (up to floating
+        point error) to the end-to-end latency for delivered packets that
+        were fully recorded.
+        """
+        breakdown = {
+            "queueing": 0.0,
+            "switching": 0.0,
+            "serialization": 0.0,
+            "propagation": 0.0,
+        }
+        for hop in self.hops:
+            breakdown["queueing"] += hop.queueing
+            breakdown["switching"] += hop.switching
+            breakdown["serialization"] += hop.serialization
+            breakdown["propagation"] += hop.propagation
+        return breakdown
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        status = "delivered" if self.delivered_at is not None else (
+            "dropped" if self.dropped else "in-flight"
+        )
+        return (
+            f"Packet(id={self.packet_id}, {self.src}->{self.dst}, "
+            f"{self.size_bits:.0f}b, {status})"
+        )

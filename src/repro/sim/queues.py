@@ -1,0 +1,247 @@
+"""Bounded queues with drop accounting.
+
+Switch and NIC models use these to model output-queued contention.  The
+queue capacity is expressed in bits (buffer memory) and optionally in
+packets; exceeding either bound drops the arriving packet (drop-tail), which
+the telemetry layer counts as a congestion indication feeding the CRC.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.sim.packet import Packet
+
+
+@dataclass
+class QueueStats:
+    """Counters exported by every queue."""
+
+    enqueued: int = 0
+    dequeued: int = 0
+    dropped: int = 0
+    enqueued_bits: float = 0.0
+    dequeued_bits: float = 0.0
+    dropped_bits: float = 0.0
+    max_occupancy_bits: float = 0.0
+    max_occupancy_packets: int = 0
+
+    def drop_fraction(self) -> float:
+        """Fraction of arriving packets that were dropped."""
+        arrivals = self.enqueued + self.dropped
+        if arrivals == 0:
+            return 0.0
+        return self.dropped / arrivals
+
+
+class DropTailQueue:
+    """A FIFO queue bounded by buffer bits and (optionally) packet count."""
+
+    def __init__(
+        self,
+        capacity_bits: float = float("inf"),
+        capacity_packets: Optional[int] = None,
+        name: str = "queue",
+    ) -> None:
+        if capacity_bits <= 0:
+            raise ValueError(f"capacity_bits must be positive, got {capacity_bits!r}")
+        if capacity_packets is not None and capacity_packets <= 0:
+            raise ValueError(
+                f"capacity_packets must be positive, got {capacity_packets!r}"
+            )
+        self.name = name
+        self.capacity_bits = capacity_bits
+        self.capacity_packets = capacity_packets
+        self.stats = QueueStats()
+        self._items: List[Packet] = []
+        self._occupancy_bits = 0.0
+
+    # ------------------------------------------------------------------ #
+    # State
+    # ------------------------------------------------------------------ #
+    @property
+    def occupancy_bits(self) -> float:
+        """Bits currently buffered."""
+        return self._occupancy_bits
+
+    @property
+    def occupancy_packets(self) -> int:
+        """Packets currently buffered."""
+        return len(self._items)
+
+    @property
+    def empty(self) -> bool:
+        """Whether the queue holds no packets."""
+        return not self._items
+
+    def occupancy_fraction(self) -> float:
+        """Buffer occupancy as a fraction of the bit capacity (0..1)."""
+        if self.capacity_bits == float("inf"):
+            return 0.0
+        return self._occupancy_bits / self.capacity_bits
+
+    # ------------------------------------------------------------------ #
+    # Operations
+    # ------------------------------------------------------------------ #
+    def would_accept(self, packet: Packet) -> bool:
+        """Whether enqueueing *packet* would fit in the buffer."""
+        if self._occupancy_bits + packet.size_bits > self.capacity_bits:
+            return False
+        if (
+            self.capacity_packets is not None
+            and len(self._items) + 1 > self.capacity_packets
+        ):
+            return False
+        return True
+
+    def enqueue(self, packet: Packet) -> bool:
+        """Try to append *packet*; returns ``False`` (and counts a drop) on overflow."""
+        if not self.would_accept(packet):
+            self.stats.dropped += 1
+            self.stats.dropped_bits += packet.size_bits
+            return False
+        self._items.append(packet)
+        self._occupancy_bits += packet.size_bits
+        self.stats.enqueued += 1
+        self.stats.enqueued_bits += packet.size_bits
+        self.stats.max_occupancy_bits = max(
+            self.stats.max_occupancy_bits, self._occupancy_bits
+        )
+        self.stats.max_occupancy_packets = max(
+            self.stats.max_occupancy_packets, len(self._items)
+        )
+        return True
+
+    def dequeue(self) -> Optional[Packet]:
+        """Pop the head-of-line packet, or ``None`` if the queue is empty."""
+        if not self._items:
+            return None
+        packet = self._items.pop(0)
+        self._occupancy_bits -= packet.size_bits
+        self.stats.dequeued += 1
+        self.stats.dequeued_bits += packet.size_bits
+        return packet
+
+    def peek(self) -> Optional[Packet]:
+        """Return (without removing) the head-of-line packet."""
+        return self._items[0] if self._items else None
+
+    def clear(self) -> int:
+        """Remove all packets; returns how many were discarded."""
+        discarded = len(self._items)
+        self._items.clear()
+        self._occupancy_bits = 0.0
+        return discarded
+
+
+class PriorityDropTailQueue:
+    """A strict-priority queue of drop-tail sub-queues.
+
+    Lower ``priority`` values are served first.  Packets are mapped to
+    sub-queues by their ``priority`` attribute; unknown priorities go to the
+    lowest-priority class.
+    """
+
+    def __init__(
+        self,
+        levels: int = 2,
+        capacity_bits_per_level: float = float("inf"),
+        name: str = "pqueue",
+    ) -> None:
+        if levels <= 0:
+            raise ValueError(f"levels must be positive, got {levels!r}")
+        self.name = name
+        self.levels = levels
+        self._queues = [
+            DropTailQueue(capacity_bits=capacity_bits_per_level, name=f"{name}.{level}")
+            for level in range(levels)
+        ]
+
+    @property
+    def stats(self) -> QueueStats:
+        """Aggregate stats across all priority levels."""
+        total = QueueStats()
+        for queue in self._queues:
+            total.enqueued += queue.stats.enqueued
+            total.dequeued += queue.stats.dequeued
+            total.dropped += queue.stats.dropped
+            total.enqueued_bits += queue.stats.enqueued_bits
+            total.dequeued_bits += queue.stats.dequeued_bits
+            total.dropped_bits += queue.stats.dropped_bits
+            total.max_occupancy_bits += queue.stats.max_occupancy_bits
+            total.max_occupancy_packets += queue.stats.max_occupancy_packets
+        return total
+
+    @property
+    def occupancy_bits(self) -> float:
+        """Bits currently buffered across all levels."""
+        return sum(queue.occupancy_bits for queue in self._queues)
+
+    @property
+    def occupancy_packets(self) -> int:
+        """Packets currently buffered across all levels."""
+        return sum(queue.occupancy_packets for queue in self._queues)
+
+    @property
+    def empty(self) -> bool:
+        """Whether no packets are buffered at any level."""
+        return all(queue.empty for queue in self._queues)
+
+    def level_for(self, packet: Packet) -> int:
+        """Map a packet priority to a sub-queue index."""
+        priority = packet.priority
+        if priority < 0:
+            return 0
+        return min(priority, self.levels - 1)
+
+    def enqueue(self, packet: Packet) -> bool:
+        """Enqueue *packet* into its priority class."""
+        return self._queues[self.level_for(packet)].enqueue(packet)
+
+    def dequeue(self) -> Optional[Packet]:
+        """Pop from the highest-priority non-empty class."""
+        for queue in self._queues:
+            if not queue.empty:
+                return queue.dequeue()
+        return None
+
+    def peek(self) -> Optional[Packet]:
+        """Return the packet that :meth:`dequeue` would pop next."""
+        for queue in self._queues:
+            if not queue.empty:
+                return queue.peek()
+        return None
+
+
+class CalendarQueue:
+    """A time-ordered queue of ``(time, item)`` pairs.
+
+    Used by traffic generators to hold future arrivals without putting one
+    engine event per packet on the calendar up front.
+    """
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[float, int, object]] = []
+        self._seq = 0
+
+    def push(self, time: float, item: object) -> None:
+        """Insert *item* keyed by *time*."""
+        heapq.heappush(self._heap, (time, self._seq, item))
+        self._seq += 1
+
+    def pop_until(self, time: float) -> List[Tuple[float, object]]:
+        """Remove and return all items with key <= *time* in order."""
+        ready: List[Tuple[float, object]] = []
+        while self._heap and self._heap[0][0] <= time:
+            item_time, _, item = heapq.heappop(self._heap)
+            ready.append((item_time, item))
+        return ready
+
+    def peek_time(self) -> Optional[float]:
+        """Key of the earliest item, or ``None`` when empty."""
+        return self._heap[0][0] if self._heap else None
+
+    def __len__(self) -> int:
+        return len(self._heap)

@@ -1,0 +1,136 @@
+"""Structured event tracing.
+
+Traces serve two audiences: tests assert on them (e.g. "a reconfiguration
+started before the hot flow completed"), and the benchmark harness converts
+them into the CSV series reported in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace line: a time, a category string, and free-form fields."""
+
+    time: float
+    category: str
+    fields: Dict[str, Any] = field(default_factory=dict)
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Field accessor with a default."""
+        return self.fields.get(key, default)
+
+
+class TraceRecorder:
+    """Accumulates :class:`TraceRecord` instances in memory.
+
+    The recorder is intentionally simple -- a list plus filter helpers --
+    because experiment runs at rack scale produce at most a few hundred
+    thousand records, which fits comfortably in memory.
+    """
+
+    def __init__(self, enabled: bool = True, capacity: Optional[int] = None) -> None:
+        self.enabled = enabled
+        self.capacity = capacity
+        self._records: List[TraceRecord] = []
+        self.dropped_records = 0
+
+    def record(self, time: float, category: str, **fields: Any) -> None:
+        """Append a record (no-op when disabled or over capacity)."""
+        if not self.enabled:
+            return
+        if self.capacity is not None and len(self._records) >= self.capacity:
+            self.dropped_records += 1
+            return
+        self._records.append(TraceRecord(time=time, category=category, fields=fields))
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    @property
+    def records(self) -> List[TraceRecord]:
+        """All records in insertion (and therefore time) order."""
+        return self._records
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def by_category(self, category: str) -> List[TraceRecord]:
+        """All records with the given category."""
+        return [record for record in self._records if record.category == category]
+
+    def categories(self) -> List[str]:
+        """Sorted list of distinct categories seen."""
+        return sorted({record.category for record in self._records})
+
+    def where(self, predicate: Callable[[TraceRecord], bool]) -> List[TraceRecord]:
+        """Records satisfying an arbitrary predicate."""
+        return [record for record in self._records if predicate(record)]
+
+    def between(self, start: float, end: float) -> List[TraceRecord]:
+        """Records with ``start <= time <= end``."""
+        return [record for record in self._records if start <= record.time <= end]
+
+    def first(self, category: str) -> Optional[TraceRecord]:
+        """Earliest record of *category*, or ``None``."""
+        matching = self.by_category(category)
+        return matching[0] if matching else None
+
+    def last(self, category: str) -> Optional[TraceRecord]:
+        """Latest record of *category*, or ``None``."""
+        matching = self.by_category(category)
+        return matching[-1] if matching else None
+
+    def count(self, category: str) -> int:
+        """Number of records of *category*."""
+        return len(self.by_category(category))
+
+    def clear(self) -> None:
+        """Discard all records."""
+        self._records.clear()
+        self.dropped_records = 0
+
+    # ------------------------------------------------------------------ #
+    # Export
+    # ------------------------------------------------------------------ #
+    def to_csv(self, columns: Optional[Iterable[str]] = None) -> str:
+        """Render the trace as CSV text.
+
+        When *columns* is omitted, the union of all field names is used, in
+        first-seen order, after the mandatory ``time`` and ``category``.
+        """
+        if columns is None:
+            seen: List[str] = []
+            for record in self._records:
+                for key in record.fields:
+                    if key not in seen:
+                        seen.append(key)
+            columns = seen
+        columns = list(columns)
+        buffer = io.StringIO()
+        writer = csv.writer(buffer)
+        writer.writerow(["time", "category", *columns])
+        for record in self._records:
+            writer.writerow(
+                [record.time, record.category]
+                + [record.fields.get(column, "") for column in columns]
+            )
+        return buffer.getvalue()
+
+
+class NullTrace(TraceRecorder):
+    """A recorder that silently discards everything (for large sweeps)."""
+
+    def __init__(self) -> None:
+        super().__init__(enabled=False)
+
+    def record(self, time: float, category: str, **fields: Any) -> None:  # noqa: D102
+        return None

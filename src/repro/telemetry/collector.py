@@ -1,0 +1,151 @@
+"""Telemetry collection over a running experiment.
+
+The collector samples time series (power, utilisation, active flows) at a
+fixed period and aggregates flow-level results at the end of a run.  It is
+deliberately independent of the simulators so the same collector serves the
+fluid simulator, the packet simulator and the analytical models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.sim.flow import FlowSet
+from repro.telemetry.metrics import describe, straggler_ratio, throughput_bps
+
+
+@dataclass
+class TimeSeries:
+    """A named sequence of ``(time, value)`` samples."""
+
+    name: str
+    samples: List[Tuple[float, float]] = field(default_factory=list)
+
+    def record(self, time: float, value: float) -> None:
+        """Append one sample (times must be non-decreasing)."""
+        if self.samples and time < self.samples[-1][0]:
+            raise ValueError(f"time series {self.name!r} must be sampled in time order")
+        self.samples.append((time, value))
+
+    def values(self) -> List[float]:
+        """Just the sample values."""
+        return [value for _, value in self.samples]
+
+    def times(self) -> List[float]:
+        """Just the sample times."""
+        return [time for time, _ in self.samples]
+
+    def last(self) -> Optional[float]:
+        """The most recent value, or ``None``."""
+        return self.samples[-1][1] if self.samples else None
+
+    def maximum(self) -> Optional[float]:
+        """Largest value, or ``None``."""
+        values = self.values()
+        return max(values) if values else None
+
+    def mean(self) -> Optional[float]:
+        """Arithmetic mean of values, or ``None``."""
+        values = self.values()
+        if not values:
+            return None
+        return sum(values) / len(values)
+
+    def time_weighted_mean(self) -> Optional[float]:
+        """Mean weighted by holding time (zero-order hold)."""
+        if len(self.samples) < 2:
+            return self.last()
+        total = 0.0
+        duration = self.samples[-1][0] - self.samples[0][0]
+        if duration <= 0:
+            return self.last()
+        for (t0, v0), (t1, _) in zip(self.samples, self.samples[1:]):
+            total += v0 * (t1 - t0)
+        return total / duration
+
+
+class TelemetryCollector:
+    """Collects named time series and flow-level summaries."""
+
+    def __init__(self) -> None:
+        self._series: Dict[str, TimeSeries] = {}
+        self.flow_sets: Dict[str, FlowSet] = {}
+
+    # ------------------------------------------------------------------ #
+    # Time series
+    # ------------------------------------------------------------------ #
+    def series(self, name: str) -> TimeSeries:
+        """Return (creating if needed) the series called *name*."""
+        if name not in self._series:
+            self._series[name] = TimeSeries(name)
+        return self._series[name]
+
+    def record(self, name: str, time: float, value: float) -> None:
+        """Record one sample into the series called *name*."""
+        self.series(name).record(time, value)
+
+    def series_names(self) -> List[str]:
+        """Names of all series collected so far."""
+        return sorted(self._series)
+
+    def sample_callable(
+        self, name: str, probe: Callable[[], float]
+    ) -> Callable[[float], None]:
+        """A periodic-process callback that samples ``probe()`` into *name*."""
+
+        def sample(now: float) -> None:
+            self.record(name, now, probe())
+
+        return sample
+
+    # ------------------------------------------------------------------ #
+    # Flow-level results
+    # ------------------------------------------------------------------ #
+    def register_flows(self, label: str, flows: FlowSet) -> None:
+        """Attach a flow set under *label* (e.g. 'adaptive', 'baseline')."""
+        self.flow_sets[label] = flows
+
+    def flow_summary(self, label: str) -> Dict[str, Optional[float]]:
+        """FCT statistics plus makespan / straggler ratio for a flow set."""
+        flows = self.flow_sets[label]
+        summary: Dict[str, Optional[float]] = dict(flows.summary())
+        summary["straggler_ratio"] = straggler_ratio(flows)
+        makespan = flows.makespan()
+        if makespan:
+            summary["aggregate_throughput_bps"] = throughput_bps(
+                flows.total_bits(), makespan
+            )
+        else:
+            summary["aggregate_throughput_bps"] = None
+        return summary
+
+    def compare(self, label_a: str, label_b: str) -> Dict[str, Optional[float]]:
+        """Ratios of headline metrics between two labelled flow sets (a / b)."""
+        a = self.flow_summary(label_a)
+        b = self.flow_summary(label_b)
+        comparison: Dict[str, Optional[float]] = {}
+        for key in ("mean_fct", "p99_fct", "max_fct", "makespan"):
+            if a.get(key) and b.get(key):
+                comparison[f"{key}_ratio"] = a[key] / b[key]  # type: ignore[operator]
+            else:
+                comparison[f"{key}_ratio"] = None
+        return comparison
+
+    # ------------------------------------------------------------------ #
+    # Export
+    # ------------------------------------------------------------------ #
+    def as_dict(self) -> Dict[str, Dict[str, Optional[float]]]:
+        """All series summarised (mean/max/last) plus flow summaries."""
+        result: Dict[str, Dict[str, Optional[float]]] = {}
+        for name, series in self._series.items():
+            result[f"series:{name}"] = {
+                "mean": series.mean(),
+                "time_weighted_mean": series.time_weighted_mean(),
+                "max": series.maximum(),
+                "last": series.last(),
+                "samples": float(len(series.samples)),
+            }
+        for label in self.flow_sets:
+            result[f"flows:{label}"] = self.flow_summary(label)
+        return result

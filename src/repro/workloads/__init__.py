@@ -1,0 +1,35 @@
+"""Synthetic rack-scale workloads.
+
+The paper motivates the architecture with distributed rack-scale
+applications -- the MapReduce shuffle whose reducer "has to wait for data
+from all mappers" is the running example -- and with disaggregated storage
+traffic.  These generators produce :class:`~repro.sim.flow.Flow` lists for
+the fluid simulator (and packet batches for the packet-level simulator)
+covering those patterns plus the standard synthetic mixes used to stress
+fabrics: permutation, uniform random, hotspot and incast.
+"""
+
+from repro.workloads.arrivals import PoissonArrivals, constant_arrivals
+from repro.workloads.base import TrafficGenerator, WorkloadSpec
+from repro.workloads.hotspot import HotspotWorkload
+from repro.workloads.incast import IncastWorkload
+from repro.workloads.mapreduce import MapReduceShuffleWorkload
+from repro.workloads.permutation import PermutationWorkload
+from repro.workloads.storage import DisaggregatedStorageWorkload
+from repro.workloads.trace_replay import TraceReplayWorkload, TraceRecordSpec
+from repro.workloads.uniform import UniformRandomWorkload
+
+__all__ = [
+    "PoissonArrivals",
+    "constant_arrivals",
+    "TrafficGenerator",
+    "WorkloadSpec",
+    "HotspotWorkload",
+    "IncastWorkload",
+    "MapReduceShuffleWorkload",
+    "PermutationWorkload",
+    "DisaggregatedStorageWorkload",
+    "TraceReplayWorkload",
+    "TraceRecordSpec",
+    "UniformRandomWorkload",
+]

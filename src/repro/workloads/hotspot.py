@@ -1,0 +1,98 @@
+"""Hotspot traffic: a fraction of all traffic converges on a few node pairs.
+
+This is the congestion pattern that makes reconfiguration attractive: most
+of the fabric is idle while a handful of links saturate, so moving lanes (or
+carving bypasses) towards the hot pairs is worth its cost.  The bypass and
+grid-to-torus experiments both use it.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.sim.flow import Flow
+from repro.workloads.base import TrafficGenerator, WorkloadSpec
+from repro.workloads.uniform import UniformRandomWorkload
+
+
+class HotspotWorkload(TrafficGenerator):
+    """A background of uniform traffic plus concentrated hot pairs."""
+
+    name = "hotspot"
+
+    def __init__(
+        self,
+        spec: WorkloadSpec,
+        num_flows: int = 100,
+        hot_fraction: float = 0.7,
+        num_hot_pairs: int = 2,
+        hot_pairs: Optional[Sequence[Tuple[str, str]]] = None,
+        hot_size_multiplier: float = 4.0,
+    ) -> None:
+        """Create the workload.
+
+        Parameters
+        ----------
+        hot_fraction:
+            Fraction of flows directed at the hot pairs.
+        num_hot_pairs:
+            Number of hot pairs to draw (ignored when *hot_pairs* is given).
+        hot_pairs:
+            Explicit hot pairs; defaults to randomly drawn distinct pairs.
+        hot_size_multiplier:
+            Hot flows are this much larger than the background mean.
+        """
+        super().__init__(spec)
+        if num_flows <= 0:
+            raise ValueError("num_flows must be positive")
+        if not 0 <= hot_fraction <= 1:
+            raise ValueError("hot_fraction must be in [0, 1]")
+        if num_hot_pairs <= 0:
+            raise ValueError("num_hot_pairs must be positive")
+        if hot_size_multiplier <= 0:
+            raise ValueError("hot_size_multiplier must be positive")
+        self.num_flows = num_flows
+        self.hot_fraction = hot_fraction
+        self.hot_size_multiplier = hot_size_multiplier
+        if hot_pairs is not None:
+            self.hot_pairs = [tuple(pair) for pair in hot_pairs]
+            for src, dst in self.hot_pairs:
+                if src == dst:
+                    raise ValueError("hot pair endpoints must differ")
+        else:
+            self.hot_pairs = self._draw_hot_pairs(num_hot_pairs)
+
+    def _draw_hot_pairs(self, count: int) -> List[Tuple[str, str]]:
+        nodes = list(self.spec.nodes)
+        pairs: List[Tuple[str, str]] = []
+        attempts = 0
+        while len(pairs) < count and attempts < 100 * count:
+            attempts += 1
+            src = self.random.choice("hot-src", nodes)
+            dst = self.random.choice("hot-dst", [n for n in nodes if n != src])
+            if (src, dst) not in pairs:
+                pairs.append((src, dst))
+        return pairs
+
+    def generate(self) -> List[Flow]:
+        """Mix of hot-pair flows and uniform background flows."""
+        nodes = list(self.spec.nodes)
+        flows: List[Flow] = []
+        num_hot = int(round(self.num_flows * self.hot_fraction))
+        for index in range(self.num_flows):
+            if index < num_hot:
+                src, dst = self.hot_pairs[index % len(self.hot_pairs)]
+                size = self.spec.mean_flow_size_bits * self.hot_size_multiplier
+                flows.append(
+                    self._make_flow(src, dst, size, self.spec.start_time, tag_suffix="hot")
+                )
+            else:
+                src = self.random.choice("bg-src", nodes)
+                dst = self.random.choice("bg-dst", [n for n in nodes if n != src])
+                size = max(
+                    self.random.exponential("bg-size", self.spec.mean_flow_size_bits), 1.0
+                )
+                flows.append(
+                    self._make_flow(src, dst, size, self.spec.start_time, tag_suffix="bg")
+                )
+        return self._sorted(flows)

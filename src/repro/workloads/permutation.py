@@ -1,0 +1,53 @@
+"""Permutation traffic: every node sends to exactly one other node.
+
+Permutation matrices are the classic adversarial-but-admissible workload for
+direct-connect topologies: they load the fabric evenly at the endpoints but
+concentrate traffic on whichever links the permutation happens to cross,
+which is precisely the congestion signal the CRC reacts to.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.sim.flow import Flow
+from repro.workloads.base import TrafficGenerator, WorkloadSpec
+
+
+class PermutationWorkload(TrafficGenerator):
+    """A random derangement of the node list, one flow per source."""
+
+    name = "permutation"
+
+    def __init__(self, spec: WorkloadSpec, heavy_tailed: bool = False, pareto_shape: float = 1.3) -> None:
+        super().__init__(spec)
+        if pareto_shape <= 1.0:
+            raise ValueError("pareto_shape must be > 1 so the mean exists")
+        self.heavy_tailed = heavy_tailed
+        self.pareto_shape = pareto_shape
+
+    def _flow_size(self) -> float:
+        if not self.heavy_tailed:
+            return self.spec.mean_flow_size_bits
+        # Lomax/Pareto with the requested mean: mean = scale * shape / (shape - 1)
+        # for the "1 + pareto" form used by RandomStreams.pareto, the mean is
+        # scale * shape / (shape - 1); solve for scale.
+        scale = self.spec.mean_flow_size_bits * (self.pareto_shape - 1.0) / self.pareto_shape
+        return self.random.pareto("perm-size", self.pareto_shape, scale)
+
+    def generate(self) -> List[Flow]:
+        """One flow from every node to its image under a random derangement."""
+        nodes = list(self.spec.nodes)
+        mapping = self.random.derangement("perm", len(nodes))
+        flows: List[Flow] = []
+        for index, node in enumerate(nodes):
+            destination = nodes[mapping[index]]
+            flows.append(
+                self._make_flow(
+                    node,
+                    destination,
+                    size_bits=self._flow_size(),
+                    start_time=self.spec.start_time,
+                )
+            )
+        return self._sorted(flows)

@@ -1,0 +1,87 @@
+"""Disaggregated-storage traffic.
+
+The paper's rack is disaggregated: "NVMe for fast storage, significant
+amount of DRAM for caching etc.", so a large share of rack traffic is
+compute sleds reading from and writing to storage sleds.  This generator
+produces that pattern: compute nodes issue read flows (storage -> compute)
+and write flows (compute -> storage) with a configurable read/write mix and
+block-sized transfers, using Poisson arrivals.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.sim.flow import Flow
+from repro.sim.units import kilobytes, megabytes
+from repro.workloads.arrivals import PoissonArrivals
+from repro.workloads.base import TrafficGenerator, WorkloadSpec
+
+
+class DisaggregatedStorageWorkload(TrafficGenerator):
+    """Compute sleds reading/writing blocks on NVMe sleds."""
+
+    name = "disaggregated-storage"
+
+    def __init__(
+        self,
+        spec: WorkloadSpec,
+        compute_nodes: Optional[Sequence[str]] = None,
+        storage_nodes: Optional[Sequence[str]] = None,
+        num_requests: int = 200,
+        read_fraction: float = 0.7,
+        read_block_bits: float = megabytes(1),
+        write_block_bits: float = kilobytes(256),
+        requests_per_second: float = 10_000.0,
+    ) -> None:
+        """Create the workload.
+
+        By default the first half of the spec's nodes are compute sleds and
+        the second half storage sleds.
+        """
+        super().__init__(spec)
+        nodes = list(spec.nodes)
+        half = len(nodes) // 2
+        self.compute_nodes = list(compute_nodes) if compute_nodes is not None else nodes[:half]
+        self.storage_nodes = list(storage_nodes) if storage_nodes is not None else nodes[half:]
+        if not self.compute_nodes or not self.storage_nodes:
+            raise ValueError("workload needs at least one compute and one storage node")
+        if set(self.compute_nodes) & set(self.storage_nodes):
+            raise ValueError("a node cannot be both compute and storage")
+        if num_requests <= 0:
+            raise ValueError("num_requests must be positive")
+        if not 0 <= read_fraction <= 1:
+            raise ValueError("read_fraction must be in [0, 1]")
+        if read_block_bits <= 0 or write_block_bits <= 0:
+            raise ValueError("block sizes must be positive")
+        if requests_per_second <= 0:
+            raise ValueError("requests_per_second must be positive")
+        self.num_requests = num_requests
+        self.read_fraction = read_fraction
+        self.read_block_bits = read_block_bits
+        self.write_block_bits = write_block_bits
+        self.requests_per_second = requests_per_second
+
+    def generate(self) -> List[Flow]:
+        """Generate read and write flows with Poisson arrivals."""
+        arrivals = PoissonArrivals(
+            self.requests_per_second, self.random, "storage-arrivals"
+        ).times(self.num_requests, self.spec.start_time)
+        flows: List[Flow] = []
+        for start in arrivals:
+            compute = self.random.choice("storage-compute", self.compute_nodes)
+            storage = self.random.choice("storage-target", self.storage_nodes)
+            is_read = self.random.uniform("storage-rw", 0.0, 1.0) < self.read_fraction
+            if is_read:
+                flows.append(
+                    self._make_flow(
+                        storage, compute, self.read_block_bits, start, tag_suffix="read"
+                    )
+                )
+            else:
+                flows.append(
+                    self._make_flow(
+                        compute, storage, self.write_block_bits, start, tag_suffix="write"
+                    )
+                )
+        return self._sorted(flows)

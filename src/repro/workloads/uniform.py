@@ -1,0 +1,63 @@
+"""Uniform random traffic with Poisson arrivals (open-loop background load)."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.sim.flow import Flow
+from repro.workloads.arrivals import PoissonArrivals
+from repro.workloads.base import TrafficGenerator, WorkloadSpec
+
+
+class UniformRandomWorkload(TrafficGenerator):
+    """Flows between uniformly chosen distinct node pairs.
+
+    Flow sizes are exponentially distributed around the spec's mean; arrivals
+    follow a Poisson process whose rate is chosen to hit a target offered
+    load expressed as a fraction of a reference capacity.
+    """
+
+    name = "uniform-random"
+
+    def __init__(
+        self,
+        spec: WorkloadSpec,
+        num_flows: int = 100,
+        offered_load_bps: Optional[float] = None,
+        arrival_rate_per_second: Optional[float] = None,
+    ) -> None:
+        """Create the workload.
+
+        Exactly one of *offered_load_bps* (aggregate bits per second offered
+        to the fabric) or *arrival_rate_per_second* may be given; with
+        neither, all flows start at ``spec.start_time`` (a closed burst).
+        """
+        super().__init__(spec)
+        if num_flows <= 0:
+            raise ValueError("num_flows must be positive")
+        if offered_load_bps is not None and arrival_rate_per_second is not None:
+            raise ValueError("give offered_load_bps or arrival_rate_per_second, not both")
+        self.num_flows = num_flows
+        if offered_load_bps is not None:
+            if offered_load_bps <= 0:
+                raise ValueError("offered_load_bps must be positive")
+            arrival_rate_per_second = offered_load_bps / spec.mean_flow_size_bits
+        self.arrival_rate_per_second = arrival_rate_per_second
+
+    def generate(self) -> List[Flow]:
+        """Generate ``num_flows`` flows."""
+        nodes = list(self.spec.nodes)
+        if self.arrival_rate_per_second is not None:
+            arrivals = PoissonArrivals(
+                self.arrival_rate_per_second, self.random, "uniform-arrivals"
+            ).times(self.num_flows, self.spec.start_time)
+        else:
+            arrivals = [self.spec.start_time] * self.num_flows
+        flows: List[Flow] = []
+        for start in arrivals:
+            src = self.random.choice("uniform-src", nodes)
+            dst = self.random.choice("uniform-dst", [n for n in nodes if n != src])
+            size = self.random.exponential("uniform-size", self.spec.mean_flow_size_bits)
+            size = max(size, 1.0)
+            flows.append(self._make_flow(src, dst, size_bits=size, start_time=start))
+        return self._sorted(flows)

@@ -1,0 +1,137 @@
+"""CLI tests and end-to-end integration scenarios."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.core.crc import ClosedRingControl, CRCConfig
+from repro.core.policy import PowerCapPolicy
+from repro.experiments.harness import build_grid_fabric, run_fluid_experiment
+from repro.fabric.topology import TopologyBuilder
+from repro.sim.flow import Flow
+from repro.sim.units import GBPS, megabytes, microseconds
+from repro.workloads.base import WorkloadSpec
+from repro.workloads.incast import IncastWorkload
+from repro.workloads.storage import DisaggregatedStorageWorkload
+
+
+# --------------------------------------------------------------------------- #
+# CLI
+# --------------------------------------------------------------------------- #
+def test_cli_parser_has_all_subcommands():
+    parser = build_parser()
+    args = parser.parse_args(["figure1"])
+    assert args.command == "figure1"
+    for command in ("figure2", "mapreduce", "breakeven", "validate"):
+        assert parser.parse_args([command]).command == command
+
+
+def test_cli_figure1_prints_table(capsys):
+    assert main(["figure1", "--max-distance", "10"]) == 0
+    output = capsys.readouterr().out
+    assert "Figure 1" in output
+    assert "switching_latency" in output
+
+
+def test_cli_breakeven_prints_curve(capsys):
+    assert main(["breakeven"]) == 0
+    output = capsys.readouterr().out
+    assert "break_even_bits" in output
+
+
+def test_cli_validate_passes_tolerance(capsys):
+    assert main(["validate", "--tolerance", "0.01"]) == 0
+    output = capsys.readouterr().out
+    assert "relative error" in output
+
+
+def test_cli_requires_subcommand():
+    with pytest.raises(SystemExit):
+        main([])
+
+
+# --------------------------------------------------------------------------- #
+# Integration: incast on a star vs a mesh
+# --------------------------------------------------------------------------- #
+def test_incast_receiver_link_is_the_bottleneck():
+    fabric = build_grid_fabric(3, 3, lanes_per_link=2)
+    names = fabric.topology.endpoints()
+    spec = WorkloadSpec(nodes=names, mean_flow_size_bits=megabytes(1), seed=4)
+    workload = IncastWorkload(spec, receiver="n1x1")
+    result = run_fluid_experiment(fabric, workload.generate(), label="incast")
+    assert result.flows.completion_fraction() == 1.0
+    # The receiver can absorb at most its NIC/attached capacity; the makespan
+    # cannot beat total_bits / attached_capacity.
+    attached = sum(
+        fabric.topology.link_between("n1x1", n).capacity_bps
+        for n in fabric.topology.neighbors("n1x1")
+    )
+    lower_bound = result.flows.total_bits() / attached
+    assert result.makespan >= lower_bound * 0.99
+
+
+# --------------------------------------------------------------------------- #
+# Integration: storage traffic with a power-capped CRC
+# --------------------------------------------------------------------------- #
+def test_power_capped_crc_keeps_fabric_under_budget_while_serving_storage():
+    fabric = build_grid_fabric(3, 3, lanes_per_link=2)
+    initial_power = fabric.power_report().total_watts
+    cap = initial_power * 0.9
+    crc = ClosedRingControl(
+        fabric,
+        CRCConfig(
+            power_cap_watts=cap,
+            enable_bypass=False,
+            enable_adaptive_fec=False,
+            control_period=microseconds(200),
+        ),
+    )
+    names = fabric.topology.endpoints()
+    spec = WorkloadSpec(nodes=names, mean_flow_size_bits=megabytes(1), seed=9)
+    workload = DisaggregatedStorageWorkload(spec, num_requests=40, requests_per_second=2e4)
+    result = run_fluid_experiment(
+        fabric, workload.generate(), label="storage", crc=crc,
+        control_period=microseconds(200),
+    )
+    assert result.flows.completion_fraction() == 1.0
+    # The CRC shed lanes to respect the cap.
+    assert fabric.power_report().total_watts <= cap * 1.02
+    assert fabric.topology.total_active_lanes() < fabric.topology.total_lanes()
+    assert result.makespan is not None
+
+
+# --------------------------------------------------------------------------- #
+# Integration: full adaptive pipeline stays lane-budget clean
+# --------------------------------------------------------------------------- #
+def test_full_adaptive_run_conserves_lane_budget_and_completes():
+    rows = columns = 3
+    fabric = build_grid_fabric(rows, columns, lanes_per_link=2)
+    lanes_before = fabric.topology.total_lanes()
+    crc = ClosedRingControl(
+        fabric,
+        CRCConfig(
+            enable_topology_reconfiguration=True,
+            grid_rows=rows,
+            grid_columns=columns,
+            utilisation_threshold=0.4,
+            control_period=microseconds(200),
+            enable_adaptive_fec=True,
+            enable_bypass=True,
+        ),
+    )
+    names = [TopologyBuilder.grid_node_name(r, c) for r in range(rows) for c in range(columns)]
+    flows = [
+        Flow("n0x0", "n2x2", megabytes(4)),
+        Flow("n2x2", "n0x0", megabytes(4)),
+        Flow("n0x2", "n2x0", megabytes(4)),
+        Flow("n2x0", "n0x2", megabytes(4)),
+    ]
+    result = run_fluid_experiment(
+        fabric, flows, label="adaptive", crc=crc, control_period=microseconds(200)
+    )
+    assert result.flows.completion_fraction() == 1.0
+    lanes_after = fabric.topology.total_lanes() + crc.executor.free_lane_count
+    assert lanes_after == lanes_before
+    assert crc.summary()["commands_executed"] >= 0
+    # Routing still works on the post-reconfiguration fabric.
+    path = fabric.router.path("n0x0", "n2x2")
+    assert path[0] == "n0x0" and path[-1] == "n2x2"

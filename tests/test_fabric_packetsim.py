@@ -1,0 +1,215 @@
+"""Tests for fabric assembly and the packet-level simulator."""
+
+import pytest
+
+from repro.fabric.fabric import Fabric, FabricConfig
+from repro.fabric.packetsim import PacketLevelNetwork
+from repro.fabric.switch import SwitchModel
+from repro.fabric.topology import TopologyBuilder
+from repro.sim.engine import Simulator
+from repro.sim.packet import Packet
+from repro.sim.units import GBPS, bits_from_bytes
+
+
+@pytest.fixture
+def line_fabric():
+    topology = TopologyBuilder(lanes_per_link=4).line(4)
+    return Fabric(topology, FabricConfig())
+
+
+@pytest.fixture
+def grid_fabric():
+    topology = TopologyBuilder(lanes_per_link=2).grid(3, 3)
+    return Fabric(topology, FabricConfig())
+
+
+# --------------------------------------------------------------------------- #
+# Fabric assembly
+# --------------------------------------------------------------------------- #
+def test_fabric_creates_switch_per_node(grid_fabric):
+    assert set(grid_fabric.switches()) == set(grid_fabric.topology.node_names())
+
+
+def test_fabric_stats_created_lazily(grid_fabric):
+    stats = grid_fabric.stats_for("n0x0", "n0x1")
+    assert stats is grid_fabric.stats_for("n0x1", "n0x0")
+
+
+def test_path_latency_breakdown_components(line_fabric):
+    path = ["n0", "n1", "n2", "n3"]
+    size = bits_from_bytes(1500)
+    breakdown = line_fabric.path_latency(path, size)
+    assert breakdown["total"] == pytest.approx(
+        breakdown["serialization"]
+        + breakdown["propagation"]
+        + breakdown["switching"]
+        + breakdown["phy"]
+    )
+    # Two intermediate switching elements on a 4-node line.
+    per_hop = line_fabric.switch("n1").forwarding_latency(size)
+    assert breakdown["switching"] == pytest.approx(2 * per_hop)
+    assert breakdown["serialization"] > 0
+
+
+def test_path_latency_requires_two_nodes(line_fabric):
+    with pytest.raises(ValueError):
+        line_fabric.path_latency(["n0"], 100)
+
+
+def test_end_to_end_latency_uses_router(grid_fabric):
+    breakdown = grid_fabric.end_to_end_latency("n0x0", "n2x2", bits_from_bytes(64))
+    assert breakdown["total"] > 0
+    # 4 hops -> 3 intermediate switches.
+    per_hop = grid_fabric.switch("n0x1").forwarding_latency(bits_from_bytes(64))
+    assert breakdown["switching"] == pytest.approx(3 * per_hop)
+
+
+def test_more_hops_means_more_switching_latency(grid_fabric):
+    size = bits_from_bytes(1500)
+    near = grid_fabric.end_to_end_latency("n0x0", "n0x1", size)
+    far = grid_fabric.end_to_end_latency("n0x0", "n2x2", size)
+    assert far["switching"] > near["switching"]
+    assert far["total"] > near["total"]
+
+
+def test_store_and_forward_fabric_is_slower(grid_fabric):
+    snf_fabric = Fabric(
+        TopologyBuilder(lanes_per_link=2).grid(3, 3),
+        FabricConfig(store_and_forward=True),
+    )
+    size = bits_from_bytes(1500)
+    cut = grid_fabric.end_to_end_latency("n0x0", "n2x2", size)["total"]
+    snf = snf_fabric.end_to_end_latency("n0x0", "n2x2", size)["total"]
+    assert snf > cut
+
+
+def test_power_report_components(grid_fabric):
+    report = grid_fabric.power_report()
+    assert report.links_watts > 0
+    assert report.switches_watts > 0
+    assert report.nics_watts > 0
+    assert report.bypass_watts == 0
+    assert report.total_watts == pytest.approx(
+        report.links_watts + report.switches_watts + report.nics_watts
+    )
+
+
+def test_power_report_drops_when_lanes_gated(grid_fabric):
+    before = grid_fabric.power_report().total_watts
+    for link in grid_fabric.topology.links():
+        link.set_active_lane_count(1)
+    after = grid_fabric.power_report().total_watts
+    assert after < before
+
+
+def test_record_power_feeds_budget(grid_fabric):
+    grid_fabric.record_power(0.0)
+    grid_fabric.record_power(1.0)
+    assert grid_fabric.power_budget.current_watts > 0
+    assert grid_fabric.power_budget.energy_joules > 0
+
+
+def test_directed_capacities_and_route_keys(grid_fabric):
+    capacities = grid_fabric.directed_capacities()
+    assert len(capacities) == 2 * len(grid_fabric.topology.links())
+    keys = grid_fabric.route_keys("n0x0", "n2x2")
+    assert len(keys) == 4
+    assert all(key in capacities for key in keys)
+
+
+def test_register_switch_for_new_node(grid_fabric):
+    from repro.fabric.node import Node
+
+    grid_fabric.topology.add_node(Node("extra"))
+    switch = grid_fabric.register_switch("extra")
+    assert grid_fabric.switch("extra") is switch
+
+
+# --------------------------------------------------------------------------- #
+# Packet-level simulation
+# --------------------------------------------------------------------------- #
+def test_single_packet_matches_analytical_latency(line_fabric):
+    simulator = Simulator()
+    network = PacketLevelNetwork(simulator, line_fabric)
+    packet = Packet.of_bytes("n0", "n3", 1500)
+    network.inject(packet)
+    simulator.drain()
+    expected = line_fabric.path_latency(["n0", "n1", "n2", "n3"], packet.size_bits)["total"]
+    assert packet.latency == pytest.approx(expected, rel=1e-9)
+    assert packet.hop_count == 3
+
+
+def test_packet_breakdown_matches_latency(line_fabric):
+    simulator = Simulator()
+    network = PacketLevelNetwork(simulator, line_fabric)
+    packet = Packet.of_bytes("n0", "n3", 1500)
+    network.inject(packet)
+    simulator.drain()
+    breakdown = packet.delay_breakdown()
+    assert sum(breakdown.values()) == pytest.approx(packet.latency, rel=1e-9)
+
+
+def test_back_to_back_packets_queue_behind_each_other(line_fabric):
+    simulator = Simulator()
+    network = PacketLevelNetwork(simulator, line_fabric)
+    first = Packet.of_bytes("n0", "n1", 1500, created_at=0.0)
+    second = Packet.of_bytes("n0", "n1", 1500, created_at=0.0)
+    network.inject_all([first, second])
+    simulator.drain()
+    assert first.latency is not None and second.latency is not None
+    link = line_fabric.topology.link_between("n0", "n1")
+    serialization = link.serialization_delay(first.size_bits)
+    assert second.latency == pytest.approx(first.latency + serialization, rel=1e-9)
+
+
+def test_cross_traffic_does_not_delay_disjoint_paths(grid_fabric):
+    simulator = Simulator()
+    network = PacketLevelNetwork(simulator, grid_fabric)
+    a = Packet.of_bytes("n0x0", "n0x1", 1500)
+    b = Packet.of_bytes("n2x0", "n2x1", 1500)
+    network.inject_all([a, b])
+    simulator.drain()
+    assert a.latency == pytest.approx(b.latency, rel=1e-9)
+
+
+def test_explicit_path_must_match_endpoints(grid_fabric):
+    simulator = Simulator()
+    network = PacketLevelNetwork(simulator, grid_fabric)
+    packet = Packet.of_bytes("n0x0", "n2x2", 64)
+    with pytest.raises(ValueError):
+        network.inject(packet, path=["n0x0", "n0x1"])
+
+
+def test_packet_dropped_on_dead_link(grid_fabric):
+    grid_fabric.topology.link_between("n0x0", "n0x1").disable()
+    simulator = Simulator()
+    network = PacketLevelNetwork(simulator, grid_fabric)
+    packet = Packet.of_bytes("n0x0", "n0x1", 1500)
+    network.inject(packet, path=["n0x0", "n0x1"])
+    simulator.drain()
+    assert packet.dropped
+    assert network.delivery_fraction() == 0.0
+
+
+def test_buffer_overflow_drops_packets():
+    topology = TopologyBuilder(lanes_per_link=1).line(2)
+    config = FabricConfig(switch_model=SwitchModel(buffer_bits=bits_from_bytes(3000)))
+    fabric = Fabric(topology, config)
+    simulator = Simulator()
+    network = PacketLevelNetwork(simulator, fabric)
+    packets = [Packet.of_bytes("n0", "n1", 1500, created_at=0.0) for _ in range(50)]
+    network.inject_all(packets)
+    simulator.drain()
+    assert len(network.dropped) > 0
+    assert len(network.delivered) > 0
+    assert network.delivery_fraction() < 1.0
+
+
+def test_port_stats_accumulate(line_fabric):
+    simulator = Simulator()
+    network = PacketLevelNetwork(simulator, line_fabric)
+    network.inject(Packet.of_bytes("n0", "n3", 1500))
+    simulator.drain()
+    stats = network.port_stats()
+    assert stats[("n0", "n1")].packets_sent == 1
+    assert stats[("n2", "n3")].packets_sent == 1

@@ -1,0 +1,236 @@
+"""Tests for the fluid (flow-level) simulator."""
+
+import math
+
+import pytest
+
+from repro.sim.flow import Flow
+from repro.sim.fluid import FluidFlowSimulator, simulate_static_flows
+from repro.sim.trace import TraceRecorder
+
+
+def make_sim(**kwargs):
+    sim = FluidFlowSimulator(**kwargs)
+    sim.add_link("ab", 100.0)
+    sim.add_link("bc", 100.0)
+    return sim
+
+
+def test_single_flow_uses_full_capacity():
+    sim = make_sim()
+    flow = Flow("a", "b", 1000.0, start_time=0.0)
+    sim.add_flow(flow, ["ab"])
+    result = sim.run()
+    assert flow.completed
+    assert flow.fct == pytest.approx(10.0)
+    assert result.end_time == pytest.approx(10.0)
+
+
+def test_two_flows_share_bottleneck_fairly():
+    sim = make_sim()
+    first = Flow("a", "b", 1000.0, start_time=0.0)
+    second = Flow("a", "b", 1000.0, start_time=0.0)
+    sim.add_flow(first, ["ab"])
+    sim.add_flow(second, ["ab"])
+    sim.run()
+    # Each gets 50 bps until one finishes; they are identical so both finish at 20 s.
+    assert first.fct == pytest.approx(20.0)
+    assert second.fct == pytest.approx(20.0)
+
+
+def test_released_capacity_speeds_up_remaining_flow():
+    sim = make_sim()
+    short = Flow("a", "b", 500.0, start_time=0.0)
+    long = Flow("a", "b", 1500.0, start_time=0.0)
+    sim.add_flow(short, ["ab"])
+    sim.add_flow(long, ["ab"])
+    sim.run()
+    # Shared at 50 bps until t=10 (short done, long has 1000 left),
+    # then long runs at 100 bps for 10 s more.
+    assert short.fct == pytest.approx(10.0)
+    assert long.fct == pytest.approx(20.0)
+
+
+def test_flows_on_disjoint_links_do_not_interact():
+    sim = make_sim()
+    first = Flow("a", "b", 1000.0)
+    second = Flow("b", "c", 1000.0)
+    sim.add_flow(first, ["ab"])
+    sim.add_flow(second, ["bc"])
+    sim.run()
+    assert first.fct == pytest.approx(10.0)
+    assert second.fct == pytest.approx(10.0)
+
+
+def test_multi_link_path_bottlenecked_by_slowest():
+    sim = FluidFlowSimulator()
+    sim.add_link("ab", 100.0)
+    sim.add_link("bc", 50.0)
+    flow = Flow("a", "c", 1000.0)
+    sim.add_flow(flow, ["ab", "bc"])
+    sim.run()
+    assert flow.fct == pytest.approx(20.0)
+
+
+def test_later_arrival_changes_rates():
+    sim = make_sim()
+    early = Flow("a", "b", 1000.0, start_time=0.0)
+    late = Flow("a", "b", 1000.0, start_time=5.0)
+    sim.add_flow(early, ["ab"])
+    sim.add_flow(late, ["ab"])
+    sim.run()
+    # early: 5 s alone at 100 (500 bits) then shares at 50 for 10 s -> fct 15.
+    assert early.fct == pytest.approx(15.0)
+    # late: shares at 50 for 10 s (500 left) then alone at 100 for 5 s -> fct 15.
+    assert late.fct == pytest.approx(15.0)
+
+
+def test_nic_rate_limit_caps_flow_rate():
+    sim = FluidFlowSimulator(flow_rate_limit_bps=10.0)
+    sim.add_link("ab", 100.0)
+    flow = Flow("a", "b", 100.0)
+    sim.add_flow(flow, ["ab"])
+    sim.run()
+    assert flow.fct == pytest.approx(10.0)
+
+
+def test_capacity_change_via_controller():
+    sim = make_sim()
+    flow = Flow("a", "b", 1000.0)
+    sim.add_flow(flow, ["ab"])
+
+    def controller(simulator, now):
+        if now >= 5.0:
+            simulator.set_capacity("ab", 200.0)
+
+    sim.add_controller(5.0, controller, start_offset=5.0)
+    sim.run()
+    # 5 s at 100 bps = 500 bits, remaining 500 at 200 bps = 2.5 s.
+    assert flow.fct == pytest.approx(7.5)
+
+
+def test_disabled_link_stalls_flow_until_reenabled():
+    sim = make_sim()
+    flow = Flow("a", "b", 1000.0)
+    sim.add_flow(flow, ["ab"])
+
+    events = []
+
+    def controller(simulator, now):
+        events.append(now)
+        if now == pytest.approx(2.0):
+            simulator.set_enabled("ab", False)
+        if now >= 6.0:
+            simulator.set_enabled("ab", True)
+
+    sim.add_controller(2.0, controller, start_offset=2.0)
+    sim.run()
+    # 2 s at 100 (200 bits), stalled 2->6, then 8 s at 100 for the rest.
+    assert flow.fct == pytest.approx(2.0 + 4.0 + 8.0)
+
+
+def test_reroute_moves_flow_to_new_link():
+    sim = FluidFlowSimulator()
+    sim.add_link("slow", 10.0)
+    sim.add_link("fast", 100.0)
+    flow = Flow("a", "b", 1000.0)
+    sim.add_flow(flow, ["slow"])
+
+    def controller(simulator, now):
+        if now >= 10.0 and flow.flow_id in dict(simulator.active_flow_rates()):
+            simulator.reroute(flow.flow_id, ["fast"])
+
+    sim.add_controller(10.0, controller, start_offset=10.0)
+    sim.run()
+    # 10 s at 10 bps = 100 bits, then 900 bits at 100 bps = 9 s.
+    assert flow.fct == pytest.approx(19.0)
+
+
+def test_reroute_unknown_flow_raises():
+    sim = make_sim()
+    with pytest.raises(KeyError):
+        sim.reroute(999, ["ab"])
+
+
+def test_add_flow_with_unknown_link_raises():
+    sim = make_sim()
+    with pytest.raises(KeyError):
+        sim.add_flow(Flow("a", "z", 10.0), ["zz"])
+
+
+def test_add_flow_with_empty_path_raises():
+    sim = make_sim()
+    with pytest.raises(ValueError):
+        sim.add_flow(Flow("a", "b", 10.0), [])
+
+
+def test_run_until_stops_early():
+    sim = make_sim()
+    flow = Flow("a", "b", 1000.0)
+    sim.add_flow(flow, ["ab"])
+    result = sim.run(until=5.0)
+    assert not flow.completed
+    assert flow.bits_remaining == pytest.approx(500.0)
+    assert result.end_time == pytest.approx(5.0)
+
+
+def test_link_utilisation_accounting():
+    sim = make_sim()
+    flow = Flow("a", "b", 1000.0)
+    sim.add_flow(flow, ["ab"])
+    result = sim.run()
+    assert result.link_bits_carried["ab"] == pytest.approx(1000.0)
+    utilisation = result.link_utilisation()
+    assert utilisation["ab"] == pytest.approx(1.0)
+    assert utilisation["bc"] == pytest.approx(0.0)
+
+
+def test_instantaneous_utilisation_queries():
+    sim = make_sim()
+    flow = Flow("a", "b", 1000.0)
+    sim.add_flow(flow, ["ab"])
+    sim.run(until=1.0)
+    load = sim.instantaneous_link_load()
+    utilisation = sim.instantaneous_link_utilisation()
+    assert load["ab"] == pytest.approx(100.0)
+    assert utilisation["ab"] == pytest.approx(1.0)
+
+
+def test_trace_records_flow_events():
+    trace = TraceRecorder()
+    sim = FluidFlowSimulator(trace=trace)
+    sim.add_link("ab", 100.0)
+    sim.add_flow(Flow("a", "b", 100.0), ["ab"])
+    sim.run()
+    assert trace.count("flow_started") == 1
+    assert trace.count("flow_completed") == 1
+
+
+def test_controller_only_ticks_do_not_hang_after_work_done():
+    sim = make_sim()
+    flow = Flow("a", "b", 100.0)
+    sim.add_flow(flow, ["ab"])
+    ticks = []
+    sim.add_controller(0.5, lambda s, t: ticks.append(t), start_offset=0.5)
+    result = sim.run()
+    assert flow.completed
+    # The run terminated rather than ticking forever.
+    assert result.end_time <= 1.5
+    assert len(ticks) <= 3
+
+
+def test_simulate_static_flows_helper():
+    flows = [Flow("a", "b", 100.0), Flow("a", "b", 100.0)]
+    result = simulate_static_flows({"ab": 100.0}, [(flows[0], ["ab"]), (flows[1], ["ab"])])
+    assert all(flow.completed for flow in flows)
+    assert result.flows.makespan() == pytest.approx(2.0)
+
+
+def test_zero_capacity_link_gives_zero_rate():
+    sim = FluidFlowSimulator()
+    sim.add_link("dead", 0.0)
+    flow = Flow("a", "b", 100.0)
+    sim.add_flow(flow, ["dead"])
+    result = sim.run()
+    assert not flow.completed
+    assert flow.bits_remaining == 100.0

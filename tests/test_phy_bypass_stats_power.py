@@ -1,0 +1,196 @@
+"""Tests for bypass circuits, statistics streams and power models."""
+
+import pytest
+
+from repro.phy.bypass import BypassCircuit, BypassManager
+from repro.phy.link import Link
+from repro.phy.power import PowerBudget, PowerModel, PowerReport, fabric_link_power
+from repro.phy.stats import EwmaEstimator, LaneStatistics, LinkStatistics
+
+
+# --------------------------------------------------------------------------- #
+# Bypass
+# --------------------------------------------------------------------------- #
+def test_bypass_circuit_latency_excludes_switching():
+    circuit = BypassCircuit(
+        src="a", dst="d", through=("b", "c"), capacity_bps=100e9,
+        established_at=0.0, passthrough_latency=5e-9, propagation_delay=20e-9,
+    )
+    assert circuit.one_way_latency == pytest.approx(20e-9 + 2 * 5e-9)
+    assert circuit.serialization_delay(100e9) == pytest.approx(1.0)
+    assert circuit.transfer_latency(1e9) == pytest.approx(circuit.one_way_latency + 0.01)
+
+
+def test_bypass_circuit_validation():
+    with pytest.raises(ValueError):
+        BypassCircuit("a", "a", (), 1.0, 0.0)
+    with pytest.raises(ValueError):
+        BypassCircuit("a", "b", (), 0.0, 0.0)
+
+
+def test_bypass_manager_establish_and_release():
+    manager = BypassManager(max_circuits=2, setup_time=1e-6)
+    circuit = manager.establish("a", "c", ["b"], 100e9, now=0.0)
+    assert circuit is not None
+    assert circuit.established_at == pytest.approx(1e-6)
+    assert manager.circuit_for("a", "c") is circuit
+    assert manager.circuit_for("c", "a") is circuit
+    assert len(manager) == 1
+    manager.release(circuit.bypass_id, now=2.0)
+    assert not circuit.active
+    assert manager.circuit_for("a", "c") is None
+
+
+def test_bypass_manager_budget_enforced():
+    manager = BypassManager(max_circuits=1)
+    assert manager.establish("a", "b", [], 1e9, 0.0) is not None
+    assert manager.establish("c", "d", [], 1e9, 0.0) is None
+    assert manager.rejected == 1
+    assert not manager.has_capacity()
+
+
+def test_bypass_manager_rejects_duplicate_pair():
+    manager = BypassManager()
+    assert manager.establish("a", "b", [], 1e9, 0.0) is not None
+    assert manager.establish("b", "a", [], 1e9, 0.0) is None
+
+
+def test_bypass_manager_release_pair():
+    manager = BypassManager()
+    manager.establish("a", "b", [], 1e9, 0.0)
+    assert manager.release_pair("b", "a", 1.0) is True
+    assert manager.release_pair("a", "b", 1.0) is False
+    with pytest.raises(KeyError):
+        manager.release(12345, 0.0)
+
+
+def test_bypass_manager_validation():
+    with pytest.raises(ValueError):
+        BypassManager(max_circuits=-1)
+    with pytest.raises(ValueError):
+        BypassManager(setup_time=-1)
+
+
+def test_bypass_manager_zero_budget_disables_circuits():
+    manager = BypassManager(max_circuits=0)
+    assert not manager.has_capacity()
+    assert manager.establish("a", "b", [], 1e9, 0.0) is None
+
+
+# --------------------------------------------------------------------------- #
+# EWMA and statistics streams
+# --------------------------------------------------------------------------- #
+def test_ewma_first_sample_sets_value():
+    est = EwmaEstimator(alpha=0.5)
+    assert est.value is None
+    est.update(10.0)
+    assert est.value == 10.0
+
+
+def test_ewma_smooths_towards_new_samples():
+    est = EwmaEstimator(alpha=0.5)
+    est.update(0.0)
+    est.update(10.0)
+    assert est.value == pytest.approx(5.0)
+    assert est.minimum == 0.0
+    assert est.maximum == 10.0
+    assert est.samples == 2
+
+
+def test_ewma_value_or_default_and_reset():
+    est = EwmaEstimator()
+    assert est.value_or(7.0) == 7.0
+    est.update(1.0)
+    est.reset()
+    assert est.value is None
+    assert est.samples == 0
+
+
+def test_ewma_alpha_validation():
+    with pytest.raises(ValueError):
+        EwmaEstimator(alpha=0.0)
+    with pytest.raises(ValueError):
+        EwmaEstimator(alpha=1.5)
+
+
+def test_lane_statistics_snapshot():
+    stats = LaneStatistics(lane_id=3)
+    stats.observe(ber=1e-9, latency=1e-7, effective_bandwidth_bps=20e9)
+    snapshot = stats.snapshot()
+    assert snapshot["lane_id"] == 3.0
+    assert snapshot["ber"] == pytest.approx(1e-9)
+
+
+def test_link_statistics_drop_rate_and_snapshot():
+    stats = LinkStatistics(link_key=("a", "b"))
+    stats.observe(latency=1e-6, utilisation=0.5, drops=1, packets=10)
+    stats.observe(utilisation=0.7, packets=10)
+    assert stats.drop_rate == pytest.approx(1 / 20)
+    snapshot = stats.snapshot()
+    assert 0.5 < snapshot["utilisation"] <= 0.7
+    assert snapshot["latency"] == pytest.approx(1e-6)
+    with pytest.raises(ValueError):
+        stats.observe(drops=-1)
+
+
+# --------------------------------------------------------------------------- #
+# Power model and budget
+# --------------------------------------------------------------------------- #
+def test_power_model_switch_power():
+    model = PowerModel()
+    assert model.switch_power(0) == model.switch_base_watts
+    assert model.switch_power(4) == pytest.approx(
+        model.switch_base_watts + 4 * model.switch_port_watts
+    )
+    assert model.switch_power(2, idle_ports=2) == pytest.approx(
+        model.switch_base_watts + 2 * model.switch_port_watts + 2 * model.switch_port_idle_watts
+    )
+    with pytest.raises(ValueError):
+        model.switch_power(-1)
+
+
+def test_power_report_totals():
+    report = PowerReport(links_watts=10, switches_watts=20, nics_watts=5, bypass_watts=1)
+    assert report.total_watts == 36
+    assert report.as_dict()["total_watts"] == 36
+
+
+def test_power_budget_energy_integration():
+    budget = PowerBudget(cap_watts=100)
+    budget.record(0.0, 50.0)
+    budget.record(10.0, 150.0)
+    budget.record(20.0, 150.0)
+    # 50 W for 10 s + 150 W for 10 s = 2000 J
+    assert budget.energy_joules == pytest.approx(2000.0)
+    assert budget.time_over_budget == pytest.approx(10.0)
+    assert budget.peak_watts() == 150.0
+    assert budget.current_watts == 150.0
+    assert budget.over_budget()
+    assert budget.headroom_watts() == pytest.approx(-50.0)
+    assert budget.mean_watts() == pytest.approx(100.0)
+
+
+def test_power_budget_ordering_enforced():
+    budget = PowerBudget()
+    budget.record(1.0, 10.0)
+    with pytest.raises(ValueError):
+        budget.record(0.5, 10.0)
+    with pytest.raises(ValueError):
+        budget.record(2.0, -5.0)
+
+
+def test_power_budget_without_cap():
+    budget = PowerBudget()
+    budget.record(0.0, 10.0)
+    assert budget.headroom_watts() is None
+    assert not budget.over_budget()
+
+
+def test_power_budget_cap_validation():
+    with pytest.raises(ValueError):
+        PowerBudget(cap_watts=0)
+
+
+def test_fabric_link_power_sums_links():
+    links = [Link("a", "b", num_lanes=2), Link("b", "c", num_lanes=2)]
+    assert fabric_link_power(links) == pytest.approx(sum(l.power_watts for l in links))

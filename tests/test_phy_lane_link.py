@@ -1,0 +1,197 @@
+"""Tests for lane and link (bundle) models."""
+
+import pytest
+
+from repro.phy.fec import FEC_NONE, FEC_RS528, FEC_RS544
+from repro.phy.lane import Lane, LaneState
+from repro.phy.link import Link, make_bundle
+from repro.phy.media import COPPER_DAC, FIBER_MMF
+from repro.sim.units import GBPS
+
+
+# --------------------------------------------------------------------------- #
+# Lane
+# --------------------------------------------------------------------------- #
+def test_lane_defaults_are_active_25g():
+    lane = Lane()
+    assert lane.usable
+    assert lane.rate_bps == 25 * GBPS
+    assert lane.effective_rate_bps == 25 * GBPS
+
+
+def test_lane_turn_off_and_on_cycle():
+    lane = Lane()
+    lane.turn_off()
+    assert lane.state is LaneState.OFF
+    assert lane.effective_rate_bps == 0.0
+    done_at = lane.turn_on(now=1.0)
+    assert lane.state is LaneState.TRAINING
+    assert done_at == pytest.approx(1.0 + lane.training_time)
+    lane.complete_training(done_at)
+    assert lane.usable
+
+
+def test_lane_turn_on_when_active_is_noop():
+    lane = Lane()
+    assert lane.turn_on(5.0) == 5.0
+    assert lane.usable
+
+
+def test_lane_training_cannot_complete_early():
+    lane = Lane()
+    lane.turn_off()
+    done_at = lane.turn_on(0.0)
+    with pytest.raises(ValueError):
+        lane.complete_training(done_at / 2)
+
+
+def test_failed_lane_cannot_be_reenabled():
+    lane = Lane()
+    lane.fail()
+    assert lane.state is LaneState.FAILED
+    with pytest.raises(ValueError):
+        lane.turn_on(0.0)
+    with pytest.raises(ValueError):
+        lane.turn_off()
+
+
+def test_lane_power_by_state():
+    lane = Lane()
+    active_power = lane.power_watts
+    lane.turn_off()
+    assert lane.power_watts < active_power
+    lane.fail()
+    assert lane.power_watts == 0.0
+
+
+def test_lane_degraded_ber_monotone_in_loss():
+    short = Lane(length_meters=0.5, raw_ber=1e-12)
+    long = Lane(length_meters=4.0, raw_ber=1e-12)
+    assert long.degraded_ber() >= short.degraded_ber()
+    assert long.degraded_ber(extra_loss_db=10) > long.degraded_ber()
+    assert long.degraded_ber(extra_loss_db=1000) <= 0.5
+
+
+def test_lane_validation():
+    with pytest.raises(ValueError):
+        Lane(rate_bps=0)
+    with pytest.raises(ValueError):
+        Lane(raw_ber=2.0)
+    with pytest.raises(ValueError):
+        Lane(length_meters=-1)
+
+
+# --------------------------------------------------------------------------- #
+# Link
+# --------------------------------------------------------------------------- #
+def test_link_capacity_is_sum_of_active_lanes_after_fec():
+    link = Link("a", "b", num_lanes=4, lane_rate_bps=25 * GBPS, fec=FEC_NONE)
+    assert link.raw_capacity_bps == pytest.approx(100 * GBPS)
+    assert link.capacity_bps == pytest.approx(100 * GBPS)
+    link.set_fec(FEC_RS528)
+    assert link.capacity_bps == pytest.approx(100 * GBPS * (1 - 0.0265))
+
+
+def test_link_rejects_same_endpoints_and_zero_lanes():
+    with pytest.raises(ValueError):
+        Link("a", "a")
+    with pytest.raises(ValueError):
+        Link("a", "b", lanes=[])
+    with pytest.raises(ValueError):
+        Link("a", "b", num_lanes=0)
+
+
+def test_link_connects_and_other_end():
+    link = Link("a", "b")
+    assert link.connects("b", "a")
+    assert link.other_end("a") == "b"
+    with pytest.raises(ValueError):
+        link.other_end("c")
+
+
+def test_link_remove_lanes_prefers_inactive():
+    link = Link("a", "b", num_lanes=4, fec=FEC_NONE)
+    link.set_active_lane_count(2)
+    removed = link.remove_lanes(2)
+    assert len(removed) == 2
+    assert all(not lane.usable for lane in removed)
+    assert link.num_active_lanes == 2
+
+
+def test_link_cannot_remove_all_lanes():
+    link = Link("a", "b", num_lanes=2)
+    with pytest.raises(ValueError):
+        link.remove_lanes(2)
+    with pytest.raises(ValueError):
+        link.remove_lanes(0)
+
+
+def test_link_add_lanes_increases_capacity():
+    link = Link("a", "b", num_lanes=2, fec=FEC_NONE)
+    spare = [Lane(), Lane()]
+    link.add_lanes(spare)
+    assert link.num_lanes == 4
+    assert link.raw_capacity_bps == pytest.approx(100 * GBPS)
+    with pytest.raises(ValueError):
+        link.add_lanes([])
+
+
+def test_link_set_active_lane_count():
+    link = Link("a", "b", num_lanes=4, fec=FEC_NONE)
+    link.set_active_lane_count(1)
+    assert link.num_active_lanes == 1
+    assert link.raw_capacity_bps == pytest.approx(25 * GBPS)
+    link.set_active_lane_count(3)
+    assert link.num_active_lanes == 3
+    with pytest.raises(ValueError):
+        link.set_active_lane_count(5)
+
+
+def test_link_disable_enable():
+    link = Link("a", "b", num_lanes=2)
+    link.disable()
+    assert not link.up
+    assert link.capacity_bps == 0.0
+    link.enable()
+    assert link.up
+    assert link.num_active_lanes == 2
+
+
+def test_link_latency_components():
+    link = Link("a", "b", num_lanes=4, length_meters=2.0, media=COPPER_DAC, fec=FEC_RS528)
+    assert link.propagation_delay == pytest.approx(COPPER_DAC.propagation_delay(2.0))
+    assert link.phy_latency == pytest.approx(
+        max(lane.serdes_latency for lane in link.lanes) + FEC_RS528.latency
+    )
+    assert link.one_way_latency == pytest.approx(link.propagation_delay + link.phy_latency)
+
+
+def test_link_serialization_delay():
+    link = Link("a", "b", num_lanes=4, fec=FEC_NONE)
+    assert link.serialization_delay(100e9) == pytest.approx(1.0)
+    link.disable()
+    with pytest.raises(ValueError):
+        link.serialization_delay(100)
+
+
+def test_link_power_includes_fec_per_active_lane():
+    link = Link("a", "b", num_lanes=4, fec=FEC_NONE)
+    base = link.power_watts
+    link.set_fec(FEC_RS544)
+    assert link.power_watts == pytest.approx(base + 4 * FEC_RS544.power_watts)
+
+
+def test_link_worst_and_post_fec_ber():
+    lanes = [Lane(raw_ber=1e-12), Lane(raw_ber=1e-6)]
+    link = Link("a", "b", lanes=lanes, fec=FEC_RS528, length_meters=0.5)
+    assert link.worst_raw_ber >= 1e-6
+    assert link.post_fec_ber < 1e-6
+    link.disable()
+    assert link.worst_raw_ber == 0.0
+
+
+def test_make_bundle_helper():
+    link = make_bundle("x", "y", num_lanes=8, lane_rate_bps=10 * GBPS, media=FIBER_MMF)
+    assert link.num_lanes == 8
+    assert link.raw_capacity_bps == pytest.approx(80 * GBPS)
+    assert link.media is FIBER_MMF

@@ -1,0 +1,216 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cost import LinkPriceTagger
+from repro.core.reconfiguration import break_even_flow_size, reconfiguration_gain
+from repro.phy.fec import FEC_BASE_R, FEC_LDPC, FEC_RS528, FEC_RS544, STANDARD_FEC_SCHEMES
+from repro.phy.link import Link
+from repro.sim.engine import Simulator
+from repro.sim.flow import Flow
+from repro.sim.fluid import FluidFlowSimulator
+from repro.sim.random import RandomStreams
+from repro.telemetry.metrics import jain_fairness_index
+
+# Keep hypothesis example counts modest: these run inside a large suite.
+COMMON_SETTINGS = settings(max_examples=50, deadline=None)
+
+
+# --------------------------------------------------------------------------- #
+# Event engine ordering
+# --------------------------------------------------------------------------- #
+@COMMON_SETTINGS
+@given(st.lists(st.floats(min_value=0.0, max_value=1e3, allow_nan=False), min_size=1, max_size=50))
+def test_engine_executes_in_nondecreasing_time_order(delays):
+    sim = Simulator()
+    fired = []
+    for delay in delays:
+        sim.schedule(delay, lambda d=delay: fired.append(sim.now))
+    sim.drain()
+    assert len(fired) == len(delays)
+    assert all(b >= a for a, b in zip(fired, fired[1:]))
+    assert fired == sorted(delays)
+
+
+@COMMON_SETTINGS
+@given(
+    st.lists(
+        st.tuples(st.floats(min_value=0, max_value=100, allow_nan=False), st.integers(-5, 5)),
+        min_size=1,
+        max_size=40,
+    )
+)
+def test_engine_priority_tiebreak_is_total_order(events):
+    sim = Simulator()
+    record = []
+    for time, priority in events:
+        sim.schedule_at(time, lambda t=time, p=priority: record.append((t, p)), priority=priority)
+    sim.drain()
+    assert record == sorted(record, key=lambda tp: (tp[0], tp[1]))
+
+
+# --------------------------------------------------------------------------- #
+# Max-min fairness in the fluid simulator
+# --------------------------------------------------------------------------- #
+@COMMON_SETTINGS
+@given(
+    st.integers(min_value=1, max_value=8),
+    st.floats(min_value=10.0, max_value=1e4, allow_nan=False),
+)
+def test_equal_flows_on_one_link_share_equally(num_flows, capacity):
+    sim = FluidFlowSimulator()
+    sim.add_link("l", capacity)
+    flows = [Flow("a", "b", 1000.0) for _ in range(num_flows)]
+    for flow in flows:
+        sim.add_flow(flow, ["l"])
+    sim.run(until=0.0)
+    rates = sim.active_flow_rates()
+    # All equal and summing to at most the capacity.
+    values = list(rates.values())
+    assert len(values) == num_flows
+    assert all(math.isclose(v, values[0], rel_tol=1e-9) for v in values)
+    assert sum(values) <= capacity * (1 + 1e-9)
+    assert jain_fairness_index(values) > 0.999
+
+
+@COMMON_SETTINGS
+@given(
+    st.lists(st.floats(min_value=100.0, max_value=1e6, allow_nan=False), min_size=2, max_size=6),
+    st.floats(min_value=50.0, max_value=1e5, allow_nan=False),
+)
+def test_fluid_conservation_of_bits(sizes, capacity):
+    sim = FluidFlowSimulator()
+    sim.add_link("l", capacity)
+    flows = [Flow("a", "b", size) for size in sizes]
+    for flow in flows:
+        sim.add_flow(flow, ["l"])
+    result = sim.run()
+    assert all(flow.completed for flow in flows)
+    # Bits carried on the link equal the bits of all flows.
+    assert math.isclose(result.link_bits_carried["l"], sum(sizes), rel_tol=1e-6)
+    # No flow finished faster than the capacity allows.
+    for flow, size in zip(flows, sizes):
+        assert flow.fct >= size / capacity - 1e-9
+
+
+@COMMON_SETTINGS
+@given(st.integers(min_value=2, max_value=6))
+def test_fluid_link_never_oversubscribed(num_flows):
+    sim = FluidFlowSimulator()
+    sim.add_link("shared", 1000.0)
+    sim.add_link("private", 1000.0)
+    for index in range(num_flows):
+        path = ["shared"] if index % 2 == 0 else ["shared", "private"]
+        sim.add_flow(Flow("a", f"b{index}", 500.0), path)
+    sim.run(until=0.0)
+    load = sim.instantaneous_link_load()
+    assert load["shared"] <= 1000.0 * (1 + 1e-9)
+    assert load["private"] <= 1000.0 * (1 + 1e-9)
+
+
+# --------------------------------------------------------------------------- #
+# FEC invariants
+# --------------------------------------------------------------------------- #
+@COMMON_SETTINGS
+@given(st.floats(min_value=1e-15, max_value=0.4, allow_nan=False))
+def test_post_fec_ber_never_worse_than_raw(raw_ber):
+    for scheme in STANDARD_FEC_SCHEMES:
+        assert scheme.post_fec_ber(raw_ber) <= raw_ber * (1 + 1e-12)
+
+
+@COMMON_SETTINGS
+@given(
+    st.floats(min_value=1e-12, max_value=1e-3, allow_nan=False),
+    st.floats(min_value=1.0, max_value=10.0),
+)
+def test_post_fec_ber_monotone_in_raw(raw_ber, factor):
+    worse = min(raw_ber * factor, 0.4)
+    for scheme in (FEC_BASE_R, FEC_RS528, FEC_RS544, FEC_LDPC):
+        assert scheme.post_fec_ber(worse) >= scheme.post_fec_ber(raw_ber) - 1e-18
+
+
+@COMMON_SETTINGS
+@given(st.floats(min_value=0.0, max_value=1e12, allow_nan=False))
+def test_fec_effective_rate_never_exceeds_raw(rate):
+    for scheme in STANDARD_FEC_SCHEMES:
+        assert scheme.effective_rate(rate) <= rate
+
+
+# --------------------------------------------------------------------------- #
+# Break-even invariants
+# --------------------------------------------------------------------------- #
+@COMMON_SETTINGS
+@given(
+    st.floats(min_value=1e6, max_value=1e11, allow_nan=False),
+    st.floats(min_value=1.01, max_value=10.0),
+    st.floats(min_value=1e-9, max_value=1e-1, allow_nan=False),
+)
+def test_break_even_is_the_crossover(rate, speedup, delay):
+    new_rate = rate * speedup
+    threshold = break_even_flow_size(rate, new_rate, delay)
+    assert threshold > 0
+    assert reconfiguration_gain(threshold * 1.01, rate, new_rate, delay) > 0
+    assert reconfiguration_gain(threshold * 0.99, rate, new_rate, delay) < 0
+    assert math.isclose(reconfiguration_gain(threshold, rate, new_rate, delay), 0.0, abs_tol=1e-6)
+
+
+@COMMON_SETTINGS
+@given(
+    st.floats(min_value=1e6, max_value=1e11, allow_nan=False),
+    st.floats(min_value=1.01, max_value=10.0),
+    st.floats(min_value=1e-9, max_value=1e-2, allow_nan=False),
+    st.floats(min_value=1.1, max_value=5.0),
+)
+def test_break_even_monotone_in_delay(rate, speedup, delay, delay_factor):
+    new_rate = rate * speedup
+    assert break_even_flow_size(rate, new_rate, delay * delay_factor) >= break_even_flow_size(
+        rate, new_rate, delay
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Price tags
+# --------------------------------------------------------------------------- #
+@COMMON_SETTINGS
+@given(
+    st.floats(min_value=0.0, max_value=0.99, allow_nan=False),
+    st.floats(min_value=0.0, max_value=0.5, allow_nan=False),
+)
+def test_price_monotone_in_utilisation(low, delta):
+    tagger = LinkPriceTagger()
+    link = Link("a", "b", num_lanes=4)
+    high = min(low + delta, 0.999)
+    assert tagger.price(link, utilisation=high) >= tagger.price(link, utilisation=low) - 1e-12
+
+
+@COMMON_SETTINGS
+@given(st.floats(min_value=0.0, max_value=0.999, allow_nan=False))
+def test_price_is_finite_and_nonnegative_for_live_links(utilisation):
+    tagger = LinkPriceTagger()
+    link = Link("a", "b", num_lanes=2)
+    price = tagger.price(link, utilisation=utilisation)
+    assert price >= 0
+    assert math.isfinite(price)
+
+
+# --------------------------------------------------------------------------- #
+# Random streams
+# --------------------------------------------------------------------------- #
+@COMMON_SETTINGS
+@given(st.integers(min_value=0, max_value=2**31), st.integers(min_value=2, max_value=30))
+def test_derangement_property(seed, n):
+    streams = RandomStreams(seed)
+    result = streams.derangement("d", n)
+    assert sorted(result) == list(range(n))
+    assert all(result[i] != i for i in range(n))
+
+
+@COMMON_SETTINGS
+@given(st.integers(min_value=0, max_value=2**31))
+def test_streams_deterministic_per_seed(seed):
+    a = RandomStreams(seed)
+    b = RandomStreams(seed)
+    assert a.permutation("p", 10) == b.permutation("p", 10)
