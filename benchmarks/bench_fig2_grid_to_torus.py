@@ -1,20 +1,19 @@
 """Benchmark for Figure 2: CRC-driven grid-to-torus reconfiguration.
 
-Runs the paper's Figure 2 scenario end to end: a 4x4 grid at two lanes per
-link comes under congestion, the Closed Ring Control harvests lanes and
-creates the torus wrap-around links at one lane per link.  The reported
-rows compare the static grid, the adaptive fabric and the static torus on
-hop counts, per-packet latency, fabric power and workload makespan.
+Runs the paper's Figure 2 scenario end to end through the sweep engine: the
+``hotspot-diagonal`` scenario is swept over the three fabric configurations
+the figure compares (static grid at two lanes per link, CRC-adaptive grid,
+static torus at one lane per link).  The reported rows compare hop counts,
+per-packet latency, fabric power and workload makespan.
 """
 
 import pytest
 
-from repro.experiments.figures import figure2_rows
-from repro.sim.units import megabytes
+from repro.experiments.figures import FIGURE2_CONFIGURATIONS
+from repro.experiments.sweep import SweepRun, execute_runs, filter_rows
 from repro.telemetry.report import format_table
 
 COLUMNS = [
-    "configuration",
     "links",
     "active_lanes",
     "diameter_hops",
@@ -26,18 +25,32 @@ COLUMNS = [
     "reconfigurations",
 ]
 
+CONFIGURATIONS = FIGURE2_CONFIGURATIONS
+
 
 def _run(rows, columns):
-    return figure2_rows(
-        rows=rows, columns=columns, flow_size_bits=megabytes(2), seed=1, workload="hotspot"
-    )
+    base = {"rows": rows, "columns": columns, "mean_flow_mb": 2.0}
+    runs = [
+        SweepRun("hotspot-diagonal", {**base, **overrides}, base_seed=1)
+        for _, overrides in CONFIGURATIONS
+    ]
+    return execute_runs(runs, workers=1)
+
+
+def _by_config(result):
+    labelled = {}
+    for (label, overrides), row in zip(CONFIGURATIONS, result):
+        # The sweep rows carry full provenance; check the label mapping holds.
+        assert filter_rows([row], scenario="hotspot-diagonal", **overrides)
+        labelled[label] = row["metrics"]
+    return labelled
 
 
 @pytest.mark.parametrize("dimensions", [(3, 3), (4, 4)])
 def test_figure2_grid_to_torus(benchmark, dimensions):
     rows, columns = dimensions
     result = benchmark.pedantic(_run, args=(rows, columns), rounds=1, iterations=1)
-    by_config = {row["configuration"]: row for row in result}
+    by_config = _by_config(result)
     grid = by_config["grid-static"]
     adaptive = by_config["adaptive-crc"]
     torus = by_config["torus-static"]
@@ -51,8 +64,11 @@ def test_figure2_grid_to_torus(benchmark, dimensions):
     print()
     print(
         format_table(
-            COLUMNS,
-            [[row[c] for c in COLUMNS] for row in result],
+            ["configuration"] + COLUMNS,
+            [
+                [label] + [by_config[label][c] for c in COLUMNS]
+                for label in ("grid-static", "adaptive-crc", "torus-static")
+            ],
             title=f"Figure 2 ({rows}x{columns} rack)",
         )
     )

@@ -1,35 +1,47 @@
 """Benchmark E3: the MapReduce shuffle (the paper's motivating example).
 
 "Since a reducer has to wait for data from all mappers, the slowest link
-pulls down the performance of an entire system."  The benchmark compares
-the shuffle makespan and the straggler ratio on a static grid against the
-adaptive fabric, and against the idealised circuit-switched oracle.
+pulls down the performance of an entire system."  The benchmark runs the
+``mapreduce-skewed`` scenario through the sweep engine with the CRC off and
+on, comparing the shuffle makespan and the straggler ratio on a static grid
+against the adaptive fabric, and against the idealised circuit-switched
+oracle.
 """
 
 import pytest
 
 from repro.baselines.circuit import OracleCircuitBaseline
-from repro.experiments.figures import mapreduce_comparison_rows
+from repro.experiments.sweep import SweepRun, execute_runs
 from repro.fabric.topology import TopologyBuilder
 from repro.sim.units import GBPS, megabytes
 from repro.telemetry.report import format_table
 from repro.workloads.base import WorkloadSpec
 from repro.workloads.mapreduce import MapReduceShuffleWorkload
 
+METRIC_COLUMNS = ["makespan", "mean_fct", "p99_fct", "straggler_ratio"]
+
 
 def _adaptive_vs_static(rows, columns):
-    return mapreduce_comparison_rows(
-        rows=rows, columns=columns, flow_size_bits=megabytes(2), seed=2, skew_factor=2.0
-    )
+    base = {
+        "rows": rows,
+        "columns": columns,
+        "mean_flow_mb": 2.0,
+        "skew_factor": 2.0,
+        "control_period_us": 100.0,
+    }
+    runs = [
+        SweepRun("mapreduce-skewed", {**base, "crc": False}, base_seed=2),
+        SweepRun("mapreduce-skewed", {**base, "crc": True}, base_seed=2),
+    ]
+    return execute_runs(runs, workers=1)
 
 
 @pytest.mark.parametrize("dimensions", [(3, 3), (4, 4)])
 def test_mapreduce_static_vs_adaptive(benchmark, dimensions):
     rows, columns = dimensions
     result = benchmark.pedantic(_adaptive_vs_static, args=dimensions, rounds=1, iterations=1)
-    by_config = {row["configuration"]: row for row in result}
-    static = by_config["grid-static"]
-    adaptive = by_config["adaptive-crc"]
+    static, adaptive = (row["metrics"] for row in result)
+    assert result[0]["params"]["crc"] is False and result[1]["params"]["crc"] is True
     assert adaptive["makespan"] is not None and static["makespan"] is not None
     # The adaptive fabric must not regress the shuffle badly, and the
     # straggler (the paper's headline concern) must not get worse.
@@ -38,10 +50,10 @@ def test_mapreduce_static_vs_adaptive(benchmark, dimensions):
     print()
     print(
         format_table(
-            ["configuration", "makespan", "mean_fct", "p99_fct", "straggler_ratio"],
+            ["configuration"] + METRIC_COLUMNS,
             [
-                [r["configuration"], r["makespan"], r["mean_fct"], r["p99_fct"], r["straggler_ratio"]]
-                for r in result
+                ["grid-static"] + [static[c] for c in METRIC_COLUMNS],
+                ["adaptive-crc"] + [adaptive[c] for c in METRIC_COLUMNS],
             ],
             title=f"MapReduce shuffle, {rows}x{columns} rack",
         )

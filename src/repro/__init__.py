@@ -44,12 +44,19 @@ from repro.core import (
 )
 from repro.experiments import (
     ExperimentResult,
+    Scenario,
+    build_fabric,
     build_grid_fabric,
     build_torus_fabric,
     figure1_rows,
     figure2_rows,
+    get_scenario,
+    list_scenarios,
+    register_scenario,
     run_adaptive_experiment,
     run_fluid_experiment,
+    run_scenario,
+    run_sweep,
 )
 from repro.fabric import (
     CutThroughSwitch,
@@ -123,12 +130,19 @@ __all__ = [
     "ReconfigurationPlanner",
     "break_even_flow_size",
     "ExperimentResult",
+    "Scenario",
+    "build_fabric",
     "build_grid_fabric",
     "build_torus_fabric",
     "figure1_rows",
     "figure2_rows",
+    "get_scenario",
+    "list_scenarios",
+    "register_scenario",
     "run_adaptive_experiment",
     "run_fluid_experiment",
+    "run_scenario",
+    "run_sweep",
     "CutThroughSwitch",
     "Fabric",
     "FabricConfig",

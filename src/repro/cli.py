@@ -9,17 +9,25 @@ Examples
     repro-fabric mapreduce --rows 4 --columns 8
     repro-fabric breakeven
     repro-fabric validate
+    repro-fabric list-scenarios
+    repro-fabric run mapreduce-skewed --set rows=4 --set skew_factor=3.0
+    repro-fabric sweep --scenario permutation --scenario incast \\
+        --grid rows=3,4 --grid crc=false,true --workers 4 --output sweep.jsonl
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.breakeven import break_even_curve
 from repro.analysis.validation import validate_against_analytical, validation_summary
 from repro.experiments.figures import figure1_rows, figure2_rows, mapreduce_comparison_rows
+from repro.experiments.scenarios import ScenarioError, list_scenarios, run_scenario
+from repro.experiments.sweep import run_sweep
 from repro.sim.units import GBPS, megabytes, microseconds
 from repro.telemetry.report import format_table
 
@@ -96,6 +104,92 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     return 0 if summary["max_relative_error"] <= args.tolerance else 1
 
 
+def _parse_value(text: str) -> object:
+    """Parse one ``--set``/``--grid`` value: int, float, bool or string."""
+    lowered = text.strip().lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    for cast in (int, float):
+        try:
+            return cast(text)
+        except ValueError:
+            continue
+    return text.strip()
+
+
+def _parse_assignment(text: str) -> tuple:
+    if "=" not in text:
+        raise argparse.ArgumentTypeError(f"expected key=value, got {text!r}")
+    key, _, value = text.partition("=")
+    return key.strip(), value
+
+
+def _cmd_list_scenarios(args: argparse.Namespace) -> int:
+    scenarios = list_scenarios()
+    rows = [
+        {
+            "name": scenario.name,
+            "workload": scenario.workload,
+            "description": scenario.description,
+        }
+        for scenario in scenarios
+    ]
+    _print_rows(f"Registered scenarios ({len(scenarios)})", rows)
+    if args.verbose:
+        print()
+        for scenario in scenarios:
+            print(f"{scenario.name}:")
+            print(f"  pattern:  {scenario.workload_summary()}")
+            print(f"  defaults: {json.dumps(scenario.parameters(), sort_keys=True)}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    overrides: Dict[str, object] = {}
+    for key, value in args.set or []:
+        overrides[key] = _parse_value(value)
+    try:
+        row = run_scenario(args.scenario, overrides, base_seed=args.base_seed)
+    except (ScenarioError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(json.dumps(row, indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    grid: Dict[str, List[object]] = {}
+    for key, value in args.grid or []:
+        grid[key] = [_parse_value(token) for token in value.split(",") if token.strip()]
+    try:
+        rows = run_sweep(
+            scenarios=args.scenario or None,
+            grid=grid or None,
+            workers=args.workers,
+            base_seed=args.base_seed,
+            output=args.output,
+        )
+    except (ScenarioError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    summary = [
+        {
+            "scenario": row["scenario"],
+            "overrides": json.dumps(
+                {k: v for k, v in row["params"].items() if k in grid}, sort_keys=True
+            ),
+            "makespan": row["metrics"]["makespan"],
+            "p99_fct": row["metrics"]["p99_fct"],
+            "completion": row["metrics"]["completion_fraction"],
+        }
+        for row in rows
+    ]
+    _print_rows(f"Sweep: {len(rows)} runs, {args.workers} worker(s)", summary)
+    if args.output:
+        print(f"\nwrote {len(rows)} JSON rows to {args.output}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -134,6 +228,38 @@ def build_parser() -> argparse.ArgumentParser:
     validate.add_argument("--tolerance", type=float, default=0.01)
     validate.set_defaults(func=_cmd_validate)
 
+    ls = sub.add_parser("list-scenarios", help="enumerate the scenario catalog")
+    ls.add_argument(
+        "--verbose", action="store_true",
+        help="also print each scenario's traffic pattern and default parameters",
+    )
+    ls.set_defaults(func=_cmd_list_scenarios)
+
+    run = sub.add_parser("run", help="run one registered scenario, print its JSON row")
+    run.add_argument("scenario", help="scenario name (see list-scenarios)")
+    run.add_argument(
+        "--set", action="append", type=_parse_assignment, metavar="KEY=VALUE",
+        help="override one scenario parameter (repeatable)",
+    )
+    run.add_argument("--base-seed", type=int, default=0)
+    run.set_defaults(func=_cmd_run)
+
+    sweep = sub.add_parser(
+        "sweep", help="run scenarios x parameter grid across worker processes"
+    )
+    sweep.add_argument(
+        "--scenario", action="append", metavar="NAME",
+        help="scenario to include (repeatable; default: all registered scenarios)",
+    )
+    sweep.add_argument(
+        "--grid", action="append", type=_parse_assignment, metavar="KEY=V1,V2,...",
+        help="one grid axis as comma-separated values (repeatable)",
+    )
+    sweep.add_argument("--workers", type=int, default=1, help="process fan-out")
+    sweep.add_argument("--output", help="write result rows to this JSON-lines file")
+    sweep.add_argument("--base-seed", type=int, default=0)
+    sweep.set_defaults(func=_cmd_sweep)
+
     return parser
 
 
@@ -141,7 +267,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # stdout was closed early (e.g. piped into `head`); exit quietly
+        # instead of tracebacking, but give Python a writable fd so the
+        # interpreter's stdout-flush at exit does not complain either.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

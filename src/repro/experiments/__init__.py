@@ -1,25 +1,78 @@
-"""Shared experiment harness used by the benchmarks and the examples."""
+"""Shared experiment harness used by the benchmarks and the examples.
+
+Three layers live here:
+
+* :mod:`repro.experiments.harness` -- build a fabric, run flows through the
+  fluid simulator, summarise the outcome,
+* :mod:`repro.experiments.scenarios` -- the declarative scenario registry
+  (named workload x fabric configurations, with defaults and validation),
+* :mod:`repro.experiments.sweep` -- the parallel sweep engine that crosses
+  scenarios with parameter grids and persists JSON result rows.
+
+:mod:`repro.experiments.figures` sits on top: the paper's figure rows are
+thin queries over sweep results.
+"""
 
 from repro.experiments.harness import (
     ExperimentResult,
     run_adaptive_experiment,
     run_fluid_experiment,
+    build_fabric,
     build_grid_fabric,
     build_torus_fabric,
+    fabric_state_row,
 )
 from repro.experiments.figures import (
     figure1_rows,
     figure2_rows,
     mapreduce_comparison_rows,
 )
+from repro.experiments.scenarios import (
+    Scenario,
+    ScenarioError,
+    get_scenario,
+    list_scenarios,
+    register_scenario,
+    run_scenario,
+    scenario_names,
+)
+from repro.experiments.sweep import (
+    SweepRun,
+    build_runs,
+    execute_runs,
+    expand_grid,
+    filter_rows,
+    load_rows,
+    run_sweep,
+    strip_timing,
+    write_rows,
+)
 
 __all__ = [
     "ExperimentResult",
     "run_adaptive_experiment",
     "run_fluid_experiment",
+    "build_fabric",
     "build_grid_fabric",
     "build_torus_fabric",
+    "fabric_state_row",
     "figure1_rows",
     "figure2_rows",
     "mapreduce_comparison_rows",
+    "Scenario",
+    "ScenarioError",
+    "get_scenario",
+    "list_scenarios",
+    "register_scenario",
+    "run_scenario",
+    "scenario_names",
+    "SweepRun",
+    "build_runs",
+    "execute_runs",
+    "expand_grid",
+    "filter_rows",
+    "load_rows",
+    "run_sweep",
+    "strip_timing",
+    "write_rows",
 ]

@@ -1,10 +1,14 @@
 """Row generators for the paper's figures.
 
 These functions produce the exact rows/series the benchmarks print and
-EXPERIMENTS.md quotes.  Keeping them importable (rather than inline in the
-benchmark files) lets the unit tests assert the qualitative claims -- e.g.
-"switching dominates propagation at every rack-scale distance" -- without
-going through pytest-benchmark.
+EXPERIMENTS.md quotes.  Since the scenario registry landed they are thin
+queries over sweep results: each figure expands the configurations it
+compares into :class:`~repro.experiments.sweep.SweepRun` units, executes
+them through the sweep engine, and selects its columns from the returned
+rows.  Keeping them importable (rather than inline in the benchmark files)
+lets the unit tests assert the qualitative claims -- e.g. "switching
+dominates propagation at every rack-scale distance" -- without going
+through pytest-benchmark.
 """
 
 from __future__ import annotations
@@ -12,18 +16,8 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.latency import LatencyModel, media_vs_switching_series
-from repro.core.crc import ClosedRingControl, CRCConfig
-from repro.experiments.harness import (
-    ExperimentResult,
-    build_grid_fabric,
-    build_torus_fabric,
-    run_fluid_experiment,
-)
-from repro.sim.flow import Flow
-from repro.sim.units import GBPS, megabytes
-from repro.workloads.base import WorkloadSpec
-from repro.workloads.hotspot import HotspotWorkload
-from repro.workloads.mapreduce import MapReduceShuffleWorkload
+from repro.experiments.sweep import SweepRun, execute_runs
+from repro.sim.units import megabytes
 
 
 # --------------------------------------------------------------------------- #
@@ -37,7 +31,7 @@ def figure1_rows(
     """Figure 1: media propagation vs cut-through switching latency.
 
     One row per path distance (a switching element every 2 m), with the two
-    curves of the figure plus their ratio.
+    curves of the figure plus their ratio.  Purely analytical -- no sweep.
     """
     return media_vs_switching_series(
         distances_meters, packet_size_bytes=packet_size_bytes, model=model
@@ -45,69 +39,54 @@ def figure1_rows(
 
 
 # --------------------------------------------------------------------------- #
-# Figure 2
+# Sweep-backed figures
 # --------------------------------------------------------------------------- #
-def _shuffle_flows(rows: int, columns: int, flow_size_bits: float, seed: int) -> List[Flow]:
-    from repro.fabric.topology import TopologyBuilder
+#: The three fabric configurations Figure 2 compares, as (label, overrides).
+#: Exported so the benchmark that reproduces the figure swept over larger
+#: racks uses the exact same configurations.
+FIGURE2_CONFIGURATIONS = (
+    ("grid-static", {"topology": "grid", "lanes_per_link": 2, "crc": False}),
+    ("adaptive-crc", {"topology": "grid", "lanes_per_link": 2, "crc": True}),
+    ("torus-static", {"topology": "torus", "lanes_per_link": 1, "crc": False}),
+)
 
-    names = [
-        TopologyBuilder.grid_node_name(row, column)
-        for row in range(rows)
-        for column in range(columns)
-    ]
-    spec = WorkloadSpec(nodes=names, mean_flow_size_bits=flow_size_bits, seed=seed)
-    return MapReduceShuffleWorkload(spec).generate()
-
-
-def _hotspot_flows(rows: int, columns: int, flow_size_bits: float, seed: int) -> List[Flow]:
-    from repro.fabric.topology import TopologyBuilder
-
-    names = [
-        TopologyBuilder.grid_node_name(row, column)
-        for row in range(rows)
-        for column in range(columns)
-    ]
-    # Hot pairs across the grid's long diagonal: exactly the traffic that the
-    # torus wrap-around links shorten.
-    hot_pairs = [
-        (TopologyBuilder.grid_node_name(0, 0), TopologyBuilder.grid_node_name(rows - 1, columns - 1)),
-        (TopologyBuilder.grid_node_name(0, columns - 1), TopologyBuilder.grid_node_name(rows - 1, 0)),
-    ]
-    spec = WorkloadSpec(nodes=names, mean_flow_size_bits=flow_size_bits, seed=seed)
-    return HotspotWorkload(
-        spec, num_flows=4 * rows * columns, hot_fraction=0.6, hot_pairs=hot_pairs
-    ).generate()
+#: Columns the fabric-comparison figures project out of a sweep row.
+_FABRIC_COLUMNS = (
+    "links",
+    "active_lanes",
+    "diameter_hops",
+    "mean_hops",
+    "mean_latency",
+    "max_latency",
+    "fabric_power_watts",
+)
 
 
-def _fabric_latency_power_row(fabric, packet_size_bytes: float = 1500.0) -> Dict[str, float]:
-    """Hop, latency and power statistics of a fabric in its *current* state.
+def _comparison_rows(
+    scenario: str,
+    configurations: Sequence[tuple],
+    base_overrides: Dict[str, object],
+    columns: Sequence[str],
+    base_seed: int,
+) -> List[Dict[str, object]]:
+    """Run one scenario under several labelled fabric configurations and
+    project the requested metric columns, one output row per configuration.
 
-    The latency columns are closed-form per-packet latencies on an idle
-    fabric (the quantity the paper's Figure 1/2 narrative is about: how many
-    cut-through switching elements sit on the critical path).
+    The workload seed ignores fabric-side parameters, so every
+    configuration sees the same flows -- the like-for-like comparison the
+    figures are about.
     """
-    from repro.sim.units import bits_from_bytes
-
-    topology = fabric.topology
-    endpoints = topology.endpoints()
-    packet_bits = bits_from_bytes(packet_size_bytes)
-    latencies: List[float] = []
-    hop_counts: List[int] = []
-    for i, src in enumerate(endpoints):
-        for dst in endpoints[i + 1 :]:
-            path = fabric.router.path(src, dst)
-            hop_counts.append(len(path) - 1)
-            latencies.append(fabric.path_latency(path, packet_bits)["total"])
-    report = fabric.power_report()
-    return {
-        "links": float(len(topology.links())),
-        "active_lanes": float(topology.total_active_lanes()),
-        "diameter_hops": float(max(hop_counts)),
-        "mean_hops": sum(hop_counts) / len(hop_counts),
-        "mean_latency": sum(latencies) / len(latencies),
-        "max_latency": max(latencies),
-        "fabric_power_watts": report.links_watts + report.switches_watts,
-    }
+    runs = [
+        SweepRun(scenario, {**base_overrides, **overrides}, base_seed=base_seed)
+        for _, overrides in configurations
+    ]
+    results = execute_runs(runs, workers=1)
+    rows_out: List[Dict[str, object]] = []
+    for (label, _), result in zip(configurations, results):
+        row: Dict[str, object] = {"configuration": label}
+        row.update({column: result["metrics"][column] for column in columns})
+        rows_out.append(row)
+    return rows_out
 
 
 def figure2_rows(
@@ -136,62 +115,22 @@ def figure2_rows(
     per-hop switching latency the reconfiguration removes, so the grid's
     thicker links keep it competitive on that column.
     """
-    if workload == "hotspot":
-        flow_factory = _hotspot_flows
-    elif workload == "shuffle":
-        flow_factory = _shuffle_flows
-    else:
+    scenario_by_workload = {"hotspot": "hotspot-diagonal", "shuffle": "mapreduce-shuffle"}
+    if workload not in scenario_by_workload:
         raise ValueError(f"unknown workload {workload!r}")
-
-    rows_out: List[Dict[str, object]] = []
-
-    grid_fabric = build_grid_fabric(rows, columns, lanes_per_link=2)
-    grid_result = run_fluid_experiment(
-        grid_fabric, flow_factory(rows, columns, flow_size_bits, seed), label="grid-static"
+    base = {
+        "rows": rows,
+        "columns": columns,
+        "mean_flow_mb": flow_size_bits / megabytes(1),
+        "control_period_us": control_period * 1e6,
+    }
+    return _comparison_rows(
+        scenario_by_workload[workload],
+        FIGURE2_CONFIGURATIONS,
+        base,
+        columns=list(_FABRIC_COLUMNS) + ["makespan", "reconfigurations"],
+        base_seed=seed,
     )
-    grid_row: Dict[str, object] = {"configuration": "grid-static"}
-    grid_row.update(_fabric_latency_power_row(grid_fabric))
-    grid_row.update({"makespan": grid_result.makespan, "reconfigurations": 0})
-    rows_out.append(grid_row)
-
-    adaptive_fabric = build_grid_fabric(rows, columns, lanes_per_link=2)
-    crc = ClosedRingControl(
-        adaptive_fabric,
-        CRCConfig(
-            enable_topology_reconfiguration=True,
-            grid_rows=rows,
-            grid_columns=columns,
-            utilisation_threshold=0.5,
-            control_period=control_period,
-        ),
-    )
-    adaptive_result = run_fluid_experiment(
-        adaptive_fabric,
-        flow_factory(rows, columns, flow_size_bits, seed),
-        label="adaptive-crc",
-        crc=crc,
-        control_period=control_period,
-    )
-    adaptive_row: Dict[str, object] = {"configuration": "adaptive-crc"}
-    adaptive_row.update(_fabric_latency_power_row(adaptive_fabric))
-    adaptive_row.update(
-        {
-            "makespan": adaptive_result.makespan,
-            "reconfigurations": len(crc.reconfiguration_times),
-        }
-    )
-    rows_out.append(adaptive_row)
-
-    torus_fabric = build_torus_fabric(rows, columns, lanes_per_link=1)
-    torus_result = run_fluid_experiment(
-        torus_fabric, flow_factory(rows, columns, flow_size_bits, seed), label="torus-static"
-    )
-    torus_row: Dict[str, object] = {"configuration": "torus-static"}
-    torus_row.update(_fabric_latency_power_row(torus_fabric))
-    torus_row.update({"makespan": torus_result.makespan, "reconfigurations": 0})
-    rows_out.append(torus_row)
-
-    return rows_out
 
 
 # --------------------------------------------------------------------------- #
@@ -209,47 +148,21 @@ def mapreduce_comparison_rows(
     The reducer waits for the slowest mapper, so the metric the paper cares
     about is the makespan (and how far the straggler lags the median).
     """
-    from repro.fabric.topology import TopologyBuilder
-
-    names = [
-        TopologyBuilder.grid_node_name(row, column)
-        for row in range(rows)
-        for column in range(columns)
+    base = {
+        "rows": rows,
+        "columns": columns,
+        "mean_flow_mb": flow_size_bits / megabytes(1),
+        "skew_factor": skew_factor,
+        "control_period_us": 100.0,
+    }
+    configurations = [
+        ("grid-static", {"crc": False}),
+        ("adaptive-crc", {"crc": True}),
     ]
-    spec = WorkloadSpec(nodes=names, mean_flow_size_bits=flow_size_bits, seed=seed)
-    workload = MapReduceShuffleWorkload(spec, skew_factor=skew_factor)
-
-    static_fabric = build_grid_fabric(rows, columns, lanes_per_link=2)
-    static_result = run_fluid_experiment(
-        static_fabric, workload.generate(), label="grid-static"
+    return _comparison_rows(
+        "mapreduce-skewed",
+        configurations,
+        base,
+        columns=["makespan", "mean_fct", "p99_fct", "straggler_ratio"],
+        base_seed=seed,
     )
-
-    adaptive_fabric = build_grid_fabric(rows, columns, lanes_per_link=2)
-    crc = ClosedRingControl(
-        adaptive_fabric,
-        CRCConfig(
-            enable_topology_reconfiguration=True,
-            grid_rows=rows,
-            grid_columns=columns,
-            utilisation_threshold=0.5,
-        ),
-    )
-    adaptive_result = run_fluid_experiment(
-        adaptive_fabric,
-        MapReduceShuffleWorkload(spec, skew_factor=skew_factor).generate(),
-        label="adaptive-crc",
-        crc=crc,
-    )
-
-    output: List[Dict[str, object]] = []
-    for result in (static_result, adaptive_result):
-        output.append(
-            {
-                "configuration": result.label,
-                "makespan": result.makespan,
-                "mean_fct": result.mean_fct,
-                "p99_fct": result.p99_fct,
-                "straggler_ratio": result.straggler,
-            }
-        )
-    return output

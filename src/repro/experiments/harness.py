@@ -91,6 +91,63 @@ def build_torus_fabric(
     return Fabric(topology, config if config is not None else FabricConfig())
 
 
+def build_fabric(
+    topology: str,
+    rows: int,
+    columns: int,
+    lanes_per_link: int = 2,
+    lane_rate_bps: float = 25 * GBPS,
+    config: Optional[FabricConfig] = None,
+) -> Fabric:
+    """Build a fabric by topology name (``"grid"`` or ``"torus"``).
+
+    The scenario registry stores the topology as data, so it needs a single
+    dispatch point rather than a function per shape.
+    """
+    if topology == "grid":
+        return build_grid_fabric(
+            rows, columns, lanes_per_link=lanes_per_link,
+            lane_rate_bps=lane_rate_bps, config=config,
+        )
+    if topology == "torus":
+        return build_torus_fabric(
+            rows, columns, lanes_per_link=lanes_per_link,
+            lane_rate_bps=lane_rate_bps, config=config,
+        )
+    raise ValueError(f"unknown topology {topology!r} (expected 'grid' or 'torus')")
+
+
+def fabric_state_row(fabric: Fabric, packet_size_bytes: float = 1500.0) -> Dict[str, float]:
+    """Hop, latency and power statistics of a fabric in its *current* state.
+
+    The latency columns are closed-form per-packet latencies on an idle
+    fabric (the quantity the paper's Figure 1/2 narrative is about: how many
+    cut-through switching elements sit on the critical path).
+    """
+    from repro.sim.units import bits_from_bytes
+
+    topology = fabric.topology
+    endpoints = topology.endpoints()
+    packet_bits = bits_from_bytes(packet_size_bytes)
+    latencies: List[float] = []
+    hop_counts: List[int] = []
+    for i, src in enumerate(endpoints):
+        for dst in endpoints[i + 1 :]:
+            path = fabric.router.path(src, dst)
+            hop_counts.append(len(path) - 1)
+            latencies.append(fabric.path_latency(path, packet_bits)["total"])
+    report = fabric.power_report()
+    return {
+        "links": float(len(topology.links())),
+        "active_lanes": float(topology.total_active_lanes()),
+        "diameter_hops": float(max(hop_counts)),
+        "mean_hops": sum(hop_counts) / len(hop_counts),
+        "mean_latency": sum(latencies) / len(latencies),
+        "max_latency": max(latencies),
+        "fabric_power_watts": report.links_watts + report.switches_watts,
+    }
+
+
 # --------------------------------------------------------------------------- #
 # Running experiments
 # --------------------------------------------------------------------------- #

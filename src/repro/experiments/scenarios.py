@@ -1,0 +1,536 @@
+"""Declarative scenario registry.
+
+Every benchmark and example used to hand-roll the same loop: build a
+fabric, generate a workload, run it through the fluid simulator, summarise
+the flow metrics.  A :class:`Scenario` captures that loop as *data*: a
+named workload factory plus a bag of default parameters (topology shape,
+rack dimensions, lanes per link, CRC on/off, flow sizes, ...).  Scenarios
+are registered with the :func:`register_scenario` decorator and looked up
+by name, which is what lets the sweep engine (:mod:`repro.experiments.sweep`)
+cross any scenario with any parameter grid, and lets the CLI enumerate the
+whole catalog with ``repro-fabric list-scenarios``.
+
+Determinism contract
+--------------------
+:func:`run_scenario` derives the workload seed from
+``(base_seed, scenario name, workload-affecting parameters)`` via SHA-256,
+and resets the global flow-id counter before generating flows.  Two
+consequences:
+
+* the same scenario/parameter combination produces bit-identical results
+  no matter where or in which order it runs (the property the parallel
+  sweep engine relies on), and
+* fabric-side parameters (``topology``, ``lanes_per_link``, ``crc``, the
+  control knobs) do **not** perturb the seed, so a grid/torus/adaptive
+  comparison over one scenario sees the *same* flows -- like-for-like, as
+  the paper's Figure 2 requires.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
+
+from repro.core.crc import ClosedRingControl, CRCConfig
+from repro.experiments.harness import (
+    build_fabric,
+    fabric_state_row,
+    run_fluid_experiment,
+)
+from repro.fabric.topology import TopologyBuilder
+from repro.sim.flow import Flow, reset_flow_ids
+from repro.sim.units import GBPS, megabytes, microseconds
+from repro.workloads.base import TrafficGenerator, WorkloadSpec
+from repro.workloads.hotspot import HotspotWorkload
+from repro.workloads.incast import IncastWorkload
+from repro.workloads.mapreduce import MapReduceShuffleWorkload
+from repro.workloads.permutation import PermutationWorkload
+from repro.workloads.storage import DisaggregatedStorageWorkload
+from repro.workloads.trace_replay import TraceRecordSpec, TraceReplayWorkload
+from repro.workloads.uniform import UniformRandomWorkload
+
+#: ``(spec, params) -> flows``: how a scenario turns resolved parameters
+#: into the flow list the simulator runs.
+FlowFactory = Callable[[WorkloadSpec, Mapping[str, object]], List[Flow]]
+
+
+class ScenarioError(ValueError):
+    """Raised for unknown scenarios, duplicate names or bad parameters."""
+
+
+#: Parameters shared by every scenario.  All of them are sweepable.
+COMMON_DEFAULTS: Dict[str, object] = {
+    "topology": "grid",          # "grid" or "torus"
+    "rows": 3,
+    "columns": 3,
+    "lanes_per_link": 2,
+    "crc": False,                # attach a Closed Ring Control (grid only)
+    "utilisation_threshold": 0.5,
+    "control_period_us": 500.0,
+    "mean_flow_mb": 2.0,
+}
+
+#: Fabric-side keys: they change how the fabric is built or controlled but
+#: must not change which flows the workload generates (see module docstring).
+FABRIC_PARAM_KEYS = frozenset(
+    {"topology", "lanes_per_link", "crc", "utilisation_threshold", "control_period_us"}
+)
+
+#: Workload-generator classes by their ``name`` attribute; ``list-scenarios``
+#: and the docs pull the one-line pattern description from their docstrings.
+WORKLOAD_CLASSES: Dict[str, type] = {
+    cls.name: cls
+    for cls in (
+        UniformRandomWorkload,
+        PermutationWorkload,
+        HotspotWorkload,
+        IncastWorkload,
+        MapReduceShuffleWorkload,
+        DisaggregatedStorageWorkload,
+        TraceReplayWorkload,
+    )
+}
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One named, runnable experiment configuration.
+
+    Attributes
+    ----------
+    name:
+        Registry key (``repro-fabric run <name>``).
+    description:
+        One line for the catalog.
+    workload:
+        ``name`` attribute of the :class:`TrafficGenerator` it exercises.
+    flows:
+        Factory turning ``(spec, params)`` into the flow list.
+    defaults:
+        Scenario-specific parameter defaults, merged over
+        :data:`COMMON_DEFAULTS` (and overridable per run or per sweep axis).
+    """
+
+    name: str
+    description: str
+    workload: str
+    flows: FlowFactory = field(repr=False)
+    defaults: Mapping[str, object] = field(default_factory=dict)
+
+    def parameters(self) -> Dict[str, object]:
+        """The full default parameter set (common defaults + scenario's own)."""
+        merged = dict(COMMON_DEFAULTS)
+        merged.update(self.defaults)
+        return merged
+
+    def workload_summary(self) -> str:
+        """First docstring line of the workload generator class."""
+        cls = WORKLOAD_CLASSES.get(self.workload)
+        doc = (cls.__doc__ or "") if cls is not None else ""
+        return doc.strip().splitlines()[0] if doc.strip() else ""
+
+
+# --------------------------------------------------------------------------- #
+# Registry
+# --------------------------------------------------------------------------- #
+_REGISTRY: Dict[str, Scenario] = {}
+
+
+def register_scenario(
+    name: str, description: str, workload: str, **defaults: object
+) -> Callable[[FlowFactory], FlowFactory]:
+    """Decorator registering a flow factory as the scenario *name*.
+
+    ``defaults`` become the scenario's extra parameters; any of them (and
+    any common parameter) can be overridden per run or swept over a grid.
+    """
+
+    def decorate(factory: FlowFactory) -> FlowFactory:
+        if name in _REGISTRY:
+            raise ScenarioError(f"scenario {name!r} is already registered")
+        if workload not in WORKLOAD_CLASSES:
+            raise ScenarioError(
+                f"scenario {name!r} references unknown workload {workload!r}"
+            )
+        _REGISTRY[name] = Scenario(
+            name=name,
+            description=description,
+            workload=workload,
+            flows=factory,
+            defaults=dict(defaults),
+        )
+        return factory
+
+    return decorate
+
+
+def get_scenario(name: str) -> Scenario:
+    """Look a scenario up by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ScenarioError(f"unknown scenario {name!r} (known: {known})") from None
+
+
+def scenario_names() -> List[str]:
+    """Registered scenario names, in registration order."""
+    return list(_REGISTRY)
+
+
+def list_scenarios() -> List[Scenario]:
+    """All registered scenarios, in registration order."""
+    return list(_REGISTRY.values())
+
+
+# --------------------------------------------------------------------------- #
+# Parameter resolution and seeding
+# --------------------------------------------------------------------------- #
+def resolve_params(
+    scenario: Scenario, overrides: Optional[Mapping[str, object]] = None
+) -> Dict[str, object]:
+    """Merge common defaults, scenario defaults and per-run overrides.
+
+    Unknown override keys are rejected (they are almost always sweep-grid
+    typos), as are combinations the runner cannot honour -- the CRC's
+    grid-to-torus reconfiguration only makes sense starting from a grid.
+    """
+    params = scenario.parameters()
+    overrides = dict(overrides or {})
+    unknown = set(overrides) - set(params)
+    if unknown:
+        raise ScenarioError(
+            f"unknown parameter(s) for scenario {scenario.name!r}: "
+            f"{sorted(unknown)} (known: {sorted(params)})"
+        )
+    defaults = scenario.parameters()
+    params.update(overrides)
+    if params["topology"] not in ("grid", "torus"):
+        raise ScenarioError(f"topology must be 'grid' or 'torus', got {params['topology']!r}")
+    # Coerce every value to the type its default declares.  This both gives
+    # clean errors for junk input and canonicalises numeric types: the seed
+    # is derived from the JSON of these parameters, so `skew_factor=2`
+    # (int, e.g. from the CLI) must resolve identically to the default 2.0.
+    for key, default in defaults.items():
+        value = params[key]
+        if isinstance(default, bool):
+            if not isinstance(value, bool):
+                raise ScenarioError(f"{key} must be true or false, got {value!r}")
+        elif isinstance(default, int):
+            try:
+                params[key] = int(value)
+            except (TypeError, ValueError):
+                raise ScenarioError(f"{key} must be an integer, got {value!r}") from None
+        elif isinstance(default, float):
+            try:
+                params[key] = float(value)
+            except (TypeError, ValueError):
+                raise ScenarioError(f"{key} must be a number, got {value!r}") from None
+    if params["crc"] and params["topology"] != "grid":
+        raise ScenarioError(
+            "crc=True drives the grid-to-torus reconfiguration and requires "
+            "topology='grid'"
+        )
+    if int(params["rows"]) < 2 or int(params["columns"]) < 2:
+        raise ScenarioError("rows and columns must both be >= 2")
+    return params
+
+
+def derive_run_seed(
+    base_seed: int, scenario_name: str, params: Mapping[str, object]
+) -> int:
+    """Deterministic per-run seed from the run's *workload-affecting* config.
+
+    Hashing ``(base_seed, scenario, params - fabric keys)`` keeps the seed
+    independent of execution order and worker count, while fabric-side
+    parameters leave the workload untouched so topology comparisons run the
+    same flows.
+    """
+    workload_params = {
+        key: value for key, value in params.items() if key not in FABRIC_PARAM_KEYS
+    }
+    canonical = json.dumps(workload_params, sort_keys=True, separators=(",", ":"))
+    digest = hashlib.sha256(
+        f"{int(base_seed)}:{scenario_name}:{canonical}".encode("utf-8")
+    ).digest()
+    return int.from_bytes(digest[:8], "little") % (2**63)
+
+
+# --------------------------------------------------------------------------- #
+# Running one scenario
+# --------------------------------------------------------------------------- #
+def run_scenario(
+    scenario: "Scenario | str",
+    overrides: Optional[Mapping[str, object]] = None,
+    base_seed: int = 0,
+) -> Dict[str, object]:
+    """Run one scenario once and return a JSON-serialisable result row.
+
+    The row carries full config provenance (resolved parameters and the
+    derived seed) next to the metrics, so a sweep output file is
+    self-describing; see ``docs/scenarios.md`` for the schema.
+    """
+    if isinstance(scenario, str):
+        scenario = get_scenario(scenario)
+    params = resolve_params(scenario, overrides)
+    seed = derive_run_seed(base_seed, scenario.name, params)
+
+    # Flow ids feed multipath route selection; reset them so a run's routing
+    # is a function of its config alone, not of what ran before it.
+    reset_flow_ids()
+    fabric = build_fabric(
+        str(params["topology"]),
+        int(params["rows"]),
+        int(params["columns"]),
+        lanes_per_link=int(params["lanes_per_link"]),
+    )
+    spec = WorkloadSpec(
+        nodes=fabric.topology.endpoints(),
+        mean_flow_size_bits=megabytes(float(params["mean_flow_mb"])),
+        seed=seed,
+        tag=scenario.name,
+    )
+    flows = scenario.flows(spec, params)
+
+    crc: Optional[ClosedRingControl] = None
+    control_period: Optional[float] = None
+    if params["crc"]:
+        control_period = microseconds(float(params["control_period_us"]))
+        crc = ClosedRingControl(
+            fabric,
+            CRCConfig(
+                enable_topology_reconfiguration=True,
+                grid_rows=int(params["rows"]),
+                grid_columns=int(params["columns"]),
+                utilisation_threshold=float(params["utilisation_threshold"]),
+                control_period=control_period,
+            ),
+        )
+    result = run_fluid_experiment(
+        fabric, flows, label=scenario.name, crc=crc, control_period=control_period
+    )
+
+    metrics: Dict[str, object] = {
+        "num_flows": len(flows),
+        "total_bits": result.flows.total_bits(),
+        "completion_fraction": result.flows.completion_fraction(),
+        "makespan": result.makespan,
+        "mean_fct": result.mean_fct,
+        "p99_fct": result.p99_fct,
+        "straggler_ratio": result.straggler,
+        "power_watts": result.power_watts,
+        "reconfigurations": len(crc.reconfiguration_times) if crc is not None else 0,
+    }
+    metrics.update(fabric_state_row(fabric))
+    return {
+        "scenario": scenario.name,
+        "workload": scenario.workload,
+        "seed": seed,
+        "params": params,
+        "metrics": metrics,
+    }
+
+
+# --------------------------------------------------------------------------- #
+# The catalog
+# --------------------------------------------------------------------------- #
+def _grid_corner_pairs(params: Mapping[str, object]) -> List[tuple]:
+    """Hot pairs across the rack's long diagonals -- exactly the traffic the
+    torus wrap-around links shorten."""
+    rows, columns = int(params["rows"]), int(params["columns"])
+    name = TopologyBuilder.grid_node_name
+    return [
+        (name(0, 0), name(rows - 1, columns - 1)),
+        (name(0, columns - 1), name(rows - 1, 0)),
+    ]
+
+
+@register_scenario(
+    "uniform-burst",
+    "Closed burst of uniform random flows, all released at t=0",
+    workload="uniform-random",
+    num_flows=36,
+)
+def _uniform_burst(spec: WorkloadSpec, params: Mapping[str, object]) -> List[Flow]:
+    return UniformRandomWorkload(spec, num_flows=int(params["num_flows"])).generate()
+
+
+@register_scenario(
+    "uniform-poisson",
+    "Open-loop uniform random traffic with Poisson arrivals at a target load",
+    workload="uniform-random",
+    num_flows=36,
+    offered_load_gbps=40.0,
+)
+def _uniform_poisson(spec: WorkloadSpec, params: Mapping[str, object]) -> List[Flow]:
+    return UniformRandomWorkload(
+        spec,
+        num_flows=int(params["num_flows"]),
+        offered_load_bps=float(params["offered_load_gbps"]) * GBPS,
+    ).generate()
+
+
+@register_scenario(
+    "permutation",
+    "Random derangement, one fixed-size flow per source node",
+    workload="permutation",
+)
+def _permutation(spec: WorkloadSpec, params: Mapping[str, object]) -> List[Flow]:
+    return PermutationWorkload(spec).generate()
+
+
+@register_scenario(
+    "permutation-heavy",
+    "Permutation traffic with heavy-tailed (Pareto) flow sizes",
+    workload="permutation",
+    pareto_shape=1.3,
+)
+def _permutation_heavy(spec: WorkloadSpec, params: Mapping[str, object]) -> List[Flow]:
+    return PermutationWorkload(
+        spec, heavy_tailed=True, pareto_shape=float(params["pareto_shape"])
+    ).generate()
+
+
+@register_scenario(
+    "hotspot-diagonal",
+    "Hot pairs across the grid's long diagonals over uniform background "
+    "(the Figure 2 congestion pattern)",
+    workload="hotspot",
+    num_flows=0,  # 0 = auto: 4 flows per node
+    hot_fraction=0.6,
+)
+def _hotspot_diagonal(spec: WorkloadSpec, params: Mapping[str, object]) -> List[Flow]:
+    num_flows = int(params["num_flows"])
+    if num_flows <= 0:
+        num_flows = 4 * int(params["rows"]) * int(params["columns"])
+    return HotspotWorkload(
+        spec,
+        num_flows=num_flows,
+        hot_fraction=float(params["hot_fraction"]),
+        hot_pairs=_grid_corner_pairs(params),
+    ).generate()
+
+
+@register_scenario(
+    "hotspot-random",
+    "Randomly drawn hot pairs concentrating most of the offered traffic",
+    workload="hotspot",
+    num_flows=36,
+    hot_fraction=0.7,
+    num_hot_pairs=2,
+)
+def _hotspot_random(spec: WorkloadSpec, params: Mapping[str, object]) -> List[Flow]:
+    return HotspotWorkload(
+        spec,
+        num_flows=int(params["num_flows"]),
+        hot_fraction=float(params["hot_fraction"]),
+        num_hot_pairs=int(params["num_hot_pairs"]),
+    ).generate()
+
+
+@register_scenario(
+    "incast",
+    "All nodes transmit the same-sized block to one receiver simultaneously",
+    workload="incast",
+)
+def _incast(spec: WorkloadSpec, params: Mapping[str, object]) -> List[Flow]:
+    return IncastWorkload(spec).generate()
+
+
+@register_scenario(
+    "incast-staggered",
+    "Incast with a fixed inter-sender start offset (partially desynchronised)",
+    workload="incast",
+    stagger_us=50.0,
+)
+def _incast_staggered(spec: WorkloadSpec, params: Mapping[str, object]) -> List[Flow]:
+    return IncastWorkload(
+        spec, stagger=microseconds(float(params["stagger_us"]))
+    ).generate()
+
+
+@register_scenario(
+    "mapreduce-shuffle",
+    "Balanced all-to-all shuffle, first half of the rack maps, second half "
+    "reduces (the paper's motivating example)",
+    workload="mapreduce-shuffle",
+    size_jitter=0.2,
+)
+def _mapreduce_shuffle(spec: WorkloadSpec, params: Mapping[str, object]) -> List[Flow]:
+    return MapReduceShuffleWorkload(
+        spec, size_jitter=float(params["size_jitter"])
+    ).generate()
+
+
+@register_scenario(
+    "mapreduce-skewed",
+    "Shuffle with partitioning skew: the last reducer receives a multiple "
+    "of everyone else's data",
+    workload="mapreduce-shuffle",
+    size_jitter=0.2,
+    skew_factor=2.0,
+)
+def _mapreduce_skewed(spec: WorkloadSpec, params: Mapping[str, object]) -> List[Flow]:
+    return MapReduceShuffleWorkload(
+        spec,
+        size_jitter=float(params["size_jitter"]),
+        skew_factor=float(params["skew_factor"]),
+    ).generate()
+
+
+@register_scenario(
+    "storage-read-heavy",
+    "Disaggregated storage, 90% reads: compute sleds pulling blocks off NVMe sleds",
+    workload="disaggregated-storage",
+    num_requests=60,
+    read_fraction=0.9,
+    requests_per_second=20000.0,
+)
+def _storage_read_heavy(spec: WorkloadSpec, params: Mapping[str, object]) -> List[Flow]:
+    return DisaggregatedStorageWorkload(
+        spec,
+        num_requests=int(params["num_requests"]),
+        read_fraction=float(params["read_fraction"]),
+        requests_per_second=float(params["requests_per_second"]),
+    ).generate()
+
+
+@register_scenario(
+    "storage-write-heavy",
+    "Disaggregated storage, 80% writes: compute sleds flushing to NVMe sleds",
+    workload="disaggregated-storage",
+    num_requests=60,
+    read_fraction=0.2,
+    requests_per_second=20000.0,
+)
+def _storage_write_heavy(spec: WorkloadSpec, params: Mapping[str, object]) -> List[Flow]:
+    return DisaggregatedStorageWorkload(
+        spec,
+        num_requests=int(params["num_requests"]),
+        read_fraction=float(params["read_fraction"]),
+        requests_per_second=float(params["requests_per_second"]),
+    ).generate()
+
+
+@register_scenario(
+    "trace-ring",
+    "Deterministic replayed trace: every node sends one block to its ring "
+    "successor at staggered start times",
+    workload="trace-replay",
+    stagger_us=100.0,
+)
+def _trace_ring(spec: WorkloadSpec, params: Mapping[str, object]) -> List[Flow]:
+    nodes = list(spec.nodes)
+    interval = microseconds(float(params["stagger_us"]))
+    records = [
+        TraceRecordSpec(
+            src=nodes[index],
+            dst=nodes[(index + 1) % len(nodes)],
+            size_bits=spec.mean_flow_size_bits,
+            start_time=index * interval,
+        )
+        for index in range(len(nodes))
+    ]
+    return TraceReplayWorkload(spec, records).generate()

@@ -7,6 +7,12 @@ traffic.  These generators produce :class:`~repro.sim.flow.Flow` lists for
 the fluid simulator (and packet batches for the packet-level simulator)
 covering those patterns plus the standard synthetic mixes used to stress
 fabrics: permutation, uniform random, hotspot and incast.
+
+Each generator documents its parameters and the traffic pattern it models
+in its docstring; the scenario registry
+(:mod:`repro.experiments.scenarios`) wraps every generator in one or more
+named scenarios, and ``repro-fabric list-scenarios`` renders the resulting
+catalog (see ``docs/scenarios.md``).
 """
 
 from repro.workloads.arrivals import PoissonArrivals, constant_arrivals

@@ -11,6 +11,19 @@ class PoissonArrivals:
     """Poisson arrival times with a given mean rate (arrivals per second)."""
 
     def __init__(self, rate_per_second: float, streams: RandomStreams, stream_name: str = "arrivals") -> None:
+        """Create the process.
+
+        Parameters
+        ----------
+        rate_per_second:
+            Mean arrival rate (inter-arrival times are exponential with
+            mean ``1 / rate_per_second``).
+        streams:
+            The experiment's named random streams.
+        stream_name:
+            Stream to draw from, so arrival noise stays independent of the
+            caller's other draws.
+        """
         if rate_per_second <= 0:
             raise ValueError("rate_per_second must be positive")
         self.rate_per_second = rate_per_second

@@ -46,8 +46,16 @@ class WorkloadSpec:
 
 
 class TrafficGenerator(abc.ABC):
-    """Base class of all workload generators."""
+    """Base class of all workload generators.
 
+    Subclasses set :attr:`name` (the key the scenario registry and the
+    generated scenario catalog use to identify the generator) and implement
+    :meth:`generate`.  The first line of a subclass's docstring doubles as
+    the catalog's one-line description of the traffic pattern it models, so
+    keep it self-contained.
+    """
+
+    #: Registry key of the generator; also the default tag on its flows.
     name: str = "workload"
 
     def __init__(self, spec: WorkloadSpec) -> None:

@@ -33,6 +33,8 @@ class HotspotWorkload(TrafficGenerator):
 
         Parameters
         ----------
+        num_flows:
+            Total number of flows (hot and background together).
         hot_fraction:
             Fraction of flows directed at the hot pairs.
         num_hot_pairs:

@@ -20,6 +20,19 @@ class PermutationWorkload(TrafficGenerator):
     name = "permutation"
 
     def __init__(self, spec: WorkloadSpec, heavy_tailed: bool = False, pareto_shape: float = 1.3) -> None:
+        """Create the workload.
+
+        Parameters
+        ----------
+        heavy_tailed:
+            When true, flow sizes are Pareto-distributed around the spec's
+            mean (the mice/elephants mix of real datacenter traffic)
+            instead of all equal to it.
+        pareto_shape:
+            Tail index of the Pareto distribution; values near 1.1-1.5
+            match reported datacenter size distributions.  Must be > 1 so
+            the mean exists.
+        """
         super().__init__(spec)
         if pareto_shape <= 1.0:
             raise ValueError("pareto_shape must be > 1 so the mean exists")

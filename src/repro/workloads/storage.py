@@ -36,8 +36,21 @@ class DisaggregatedStorageWorkload(TrafficGenerator):
     ) -> None:
         """Create the workload.
 
-        By default the first half of the spec's nodes are compute sleds and
-        the second half storage sleds.
+        Parameters
+        ----------
+        compute_nodes, storage_nodes:
+            Disjoint subsets of ``spec.nodes``; by default the first half
+            of the node list computes and the second half stores.
+        num_requests:
+            Number of read/write requests to generate.
+        read_fraction:
+            Probability that a request is a read (storage -> compute);
+            the rest are writes (compute -> storage).
+        read_block_bits, write_block_bits:
+            Transfer size per read and write request (reads default to
+            1 MB blocks, writes to 256 KB).
+        requests_per_second:
+            Mean Poisson arrival rate of requests.
         """
         super().__init__(spec)
         nodes = list(spec.nodes)

@@ -41,6 +41,16 @@ class TraceReplayWorkload(TrafficGenerator):
     name = "trace-replay"
 
     def __init__(self, spec: WorkloadSpec, records: Sequence[TraceRecordSpec]) -> None:
+        """Create the workload.
+
+        Parameters
+        ----------
+        records:
+            The transfers to replay, one :class:`TraceRecordSpec` each;
+            every endpoint they reference must appear in ``spec.nodes``.
+            Record start times are relative -- :meth:`generate` shifts them
+            by ``spec.start_time``.
+        """
         super().__init__(spec)
         if not records:
             raise ValueError("trace replay needs at least one record")

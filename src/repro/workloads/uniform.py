@@ -28,9 +28,19 @@ class UniformRandomWorkload(TrafficGenerator):
     ) -> None:
         """Create the workload.
 
-        Exactly one of *offered_load_bps* (aggregate bits per second offered
-        to the fabric) or *arrival_rate_per_second* may be given; with
-        neither, all flows start at ``spec.start_time`` (a closed burst).
+        Parameters
+        ----------
+        num_flows:
+            Number of flows to generate.
+        offered_load_bps:
+            Aggregate bits per second offered to the fabric; the Poisson
+            arrival rate is derived as ``offered_load_bps / mean_flow_size``.
+        arrival_rate_per_second:
+            Explicit Poisson arrival rate.
+
+        Exactly one of *offered_load_bps* or *arrival_rate_per_second* may
+        be given; with neither, all flows start at ``spec.start_time`` (a
+        closed burst).
         """
         super().__init__(spec)
         if num_flows <= 0:

@@ -21,8 +21,9 @@ def test_cli_parser_has_all_subcommands():
     parser = build_parser()
     args = parser.parse_args(["figure1"])
     assert args.command == "figure1"
-    for command in ("figure2", "mapreduce", "breakeven", "validate"):
+    for command in ("figure2", "mapreduce", "breakeven", "validate", "list-scenarios", "sweep"):
         assert parser.parse_args([command]).command == command
+    assert parser.parse_args(["run", "incast"]).command == "run"
 
 
 def test_cli_figure1_prints_table(capsys):
@@ -47,6 +48,60 @@ def test_cli_validate_passes_tolerance(capsys):
 def test_cli_requires_subcommand():
     with pytest.raises(SystemExit):
         main([])
+
+
+def test_cli_list_scenarios_enumerates_catalog(capsys):
+    from repro.experiments.scenarios import list_scenarios
+
+    assert main(["list-scenarios"]) == 0
+    output = capsys.readouterr().out
+    scenarios = list_scenarios()
+    assert len(scenarios) >= 10
+    for scenario in scenarios:
+        assert scenario.name in output
+    # All seven workload generators are represented in the catalog table.
+    for workload in (
+        "uniform-random",
+        "permutation",
+        "hotspot",
+        "incast",
+        "mapreduce-shuffle",
+        "disaggregated-storage",
+        "trace-replay",
+    ):
+        assert workload in output
+
+
+def test_cli_run_prints_json_row(capsys):
+    import json
+
+    assert main(["run", "permutation", "--set", "rows=2", "--set", "columns=2"]) == 0
+    row = json.loads(capsys.readouterr().out)
+    assert row["scenario"] == "permutation"
+    assert row["params"]["rows"] == 2
+    assert row["metrics"]["completion_fraction"] == 1.0
+
+
+def test_cli_run_unknown_scenario_fails(capsys):
+    assert main(["run", "no-such-scenario"]) == 2
+    assert "unknown scenario" in capsys.readouterr().err
+
+
+def test_cli_sweep_parallel_output_matches_serial(tmp_path, capsys):
+    from repro.experiments.sweep import load_rows, strip_timing
+
+    serial_path = str(tmp_path / "serial.jsonl")
+    parallel_path = str(tmp_path / "parallel.jsonl")
+    base = ["sweep", "--scenario", "permutation", "--scenario", "incast",
+            "--grid", "rows=2,3", "--grid", "crc=false,true"]
+    assert main(base + ["--workers", "1", "--output", serial_path]) == 0
+    assert main(base + ["--workers", "2", "--output", parallel_path]) == 0
+    output = capsys.readouterr().out
+    assert "Sweep: 8 runs" in output
+    serial = [strip_timing(row) for row in load_rows(serial_path)]
+    parallel = [strip_timing(row) for row in load_rows(parallel_path)]
+    assert len(serial) == 8
+    assert serial == parallel
 
 
 # --------------------------------------------------------------------------- #
