@@ -27,8 +27,11 @@ from repro.core import (
     BypassPolicy,
     ClosedRingControl,
     CompositePolicy,
+    ControlLoop,
+    ControlLoopConfig,
     CRCConfig,
     FlowScheduler,
+    GridToTorusCandidate,
     GridToTorusPlan,
     LatencyMinimizationPolicy,
     LinkPriceTagger,
@@ -45,6 +48,7 @@ from repro.core import (
 from repro.experiments import (
     ExperimentResult,
     Scenario,
+    adaptive_vs_static,
     build_fabric,
     build_grid_fabric,
     build_torus_fabric,
@@ -54,6 +58,7 @@ from repro.experiments import (
     list_scenarios,
     register_scenario,
     run_adaptive_experiment,
+    run_control_loop_experiment,
     run_fluid_experiment,
     run_scenario,
     run_sweep,
@@ -115,8 +120,11 @@ __all__ = [
     "BypassPolicy",
     "ClosedRingControl",
     "CompositePolicy",
+    "ControlLoop",
+    "ControlLoopConfig",
     "CRCConfig",
     "FlowScheduler",
+    "GridToTorusCandidate",
     "GridToTorusPlan",
     "LatencyMinimizationPolicy",
     "LinkPriceTagger",
@@ -131,6 +139,7 @@ __all__ = [
     "break_even_flow_size",
     "ExperimentResult",
     "Scenario",
+    "adaptive_vs_static",
     "build_fabric",
     "build_grid_fabric",
     "build_torus_fabric",
@@ -140,6 +149,7 @@ __all__ = [
     "list_scenarios",
     "register_scenario",
     "run_adaptive_experiment",
+    "run_control_loop_experiment",
     "run_fluid_experiment",
     "run_scenario",
     "run_sweep",

@@ -6,6 +6,7 @@ from typing import Optional, Sequence
 
 from repro.experiments.harness import ExperimentResult, run_fluid_experiment
 from repro.fabric.fabric import Fabric, FabricConfig
+from repro.fabric.failures import FailureEvent
 from repro.fabric.routing import Router, RoutingPolicy
 from repro.fabric.topology import Topology
 from repro.sim.flow import Flow
@@ -17,13 +18,15 @@ def run_ecmp_baseline(
     label: str = "ecmp",
     fabric_config: Optional[FabricConfig] = None,
     flow_rate_limit_bps: Optional[float] = None,
+    failure_events: Optional[Sequence[FailureEvent]] = None,
 ) -> ExperimentResult:
     """Run *flows* over *topology* with per-flow ECMP hashing and no CRC.
 
     ECMP is what a conventional packet-switched rack does about congestion:
     spread flows over equal-cost paths and hope the hash is kind.  It needs
     no reconfiguration hardware, so it is the fair "software-only" baseline
-    for the adaptive fabric.
+    for the adaptive fabric.  *failure_events* (if any) are injected the
+    same way as in the adaptive runs.
     """
     config = fabric_config if fabric_config is not None else FabricConfig()
     fabric = Fabric(topology, config)
@@ -34,4 +37,5 @@ def run_ecmp_baseline(
         label=label,
         crc=None,
         flow_rate_limit_bps=flow_rate_limit_bps,
+        failure_events=failure_events,
     )

@@ -6,6 +6,7 @@ from typing import Optional, Sequence
 
 from repro.experiments.harness import ExperimentResult, run_fluid_experiment
 from repro.fabric.fabric import Fabric
+from repro.fabric.failures import FailureEvent
 from repro.sim.flow import Flow
 
 
@@ -15,11 +16,14 @@ def run_static_baseline(
     label: str = "static",
     flow_rate_limit_bps: Optional[float] = None,
     until: Optional[float] = None,
+    failure_events: Optional[Sequence[FailureEvent]] = None,
 ) -> ExperimentResult:
     """Run *flows* over *fabric* with no CRC attached.
 
     This is the "do nothing" comparator: routing is fixed shortest-path on
     the initial topology, capacities never change, no bypasses are carved.
+    *failure_events* (if any) still land mid-run -- a static fabric suffers
+    failures, it just cannot react to them.
     """
     return run_fluid_experiment(
         fabric,
@@ -28,4 +32,5 @@ def run_static_baseline(
         crc=None,
         flow_rate_limit_bps=flow_rate_limit_bps,
         until=until,
+        failure_events=failure_events,
     )

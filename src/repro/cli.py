@@ -11,6 +11,8 @@ Examples
     repro-fabric validate
     repro-fabric list-scenarios
     repro-fabric run mapreduce-skewed --set rows=4 --set skew_factor=3.0
+    repro-fabric run hotspot_migration
+    repro-fabric compare hotspot_migration
     repro-fabric sweep --scenario permutation --scenario incast \\
         --grid rows=3,4 --grid crc=false,true --workers 4 --output sweep.jsonl
 """
@@ -25,6 +27,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.breakeven import break_even_curve
 from repro.analysis.validation import validate_against_analytical, validation_summary
+from repro.experiments.comparison import adaptive_vs_static
 from repro.experiments.figures import figure1_rows, figure2_rows, mapreduce_comparison_rows
 from repro.experiments.scenarios import ScenarioError, list_scenarios, run_scenario
 from repro.experiments.sweep import run_sweep
@@ -157,6 +160,26 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_compare(args: argparse.Namespace) -> int:
+    overrides: Dict[str, object] = {}
+    for key, value in args.set or []:
+        overrides[key] = _parse_value(value)
+    try:
+        rows = adaptive_vs_static(args.scenario, overrides, base_seed=args.base_seed)
+    except (ScenarioError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    _print_rows(
+        f"{args.scenario}: static vs ECMP vs adaptive (identical flows)", rows
+    )
+    by_label = {row["label"]: row for row in rows}
+    static_fct = by_label["static"]["mean_fct"]
+    adaptive_fct = by_label["adaptive"]["mean_fct"]
+    if static_fct and adaptive_fct:
+        print(f"\nadaptive / static mean FCT: {adaptive_fct / static_fct:.3f}")
+    return 0
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     grid: Dict[str, List[object]] = {}
     for key, value in args.grid or []:
@@ -243,6 +266,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument("--base-seed", type=int, default=0)
     run.set_defaults(func=_cmd_run)
+
+    compare = sub.add_parser(
+        "compare",
+        help="run one scenario under static / ECMP / adaptive control, same flows",
+    )
+    compare.add_argument("scenario", help="scenario name (see list-scenarios)")
+    compare.add_argument(
+        "--set", action="append", type=_parse_assignment, metavar="KEY=VALUE",
+        help="override one scenario parameter (repeatable)",
+    )
+    compare.add_argument("--base-seed", type=int, default=0)
+    compare.set_defaults(func=_cmd_compare)
 
     sweep = sub.add_parser(
         "sweep", help="run scenarios x parameter grid across worker processes"

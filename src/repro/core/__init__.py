@@ -13,8 +13,20 @@
 * :mod:`repro.core.crc` -- the Closed Ring Control itself: the periodic
   feedback loop that observes link statistics, prices links, asks the
   policies for PLP commands, executes them and re-routes traffic.
+* :mod:`repro.core.control` -- the closed-loop adaptive control *runtime*:
+  a :class:`~repro.core.control.ControlLoop` process on the event engine
+  that drives telemetry, pricing, scheduling and reconfiguration inside a
+  running fluid simulation.
 """
 
+from repro.core.control import (
+    ControlLoop,
+    ControlLoopConfig,
+    ControlTick,
+    GridToTorusCandidate,
+    PlanCandidate,
+    PlanProposal,
+)
 from repro.core.cost import LinkPriceTagger, PriceWeights
 from repro.core.crc import ClosedRingControl, CRCConfig
 from repro.core.plp import (
@@ -43,6 +55,12 @@ from repro.core.reconfiguration import (
 from repro.core.scheduler import FlowScheduler, SchedulingDecision
 
 __all__ = [
+    "ControlLoop",
+    "ControlLoopConfig",
+    "ControlTick",
+    "GridToTorusCandidate",
+    "PlanCandidate",
+    "PlanProposal",
     "LinkPriceTagger",
     "PriceWeights",
     "ClosedRingControl",

@@ -99,7 +99,18 @@ class PriceNormalisation:
 
 
 class LinkPriceTagger:
-    """Computes the CRC's per-link price tags."""
+    """Computes the CRC's per-link price tags.
+
+    Parameters
+    ----------
+    weights:
+        Relative importance of the latency / congestion / health / power
+        terms (:class:`PriceWeights`); the default weights latency and
+        congestion equally.
+    normalisation:
+        Reference scales (:class:`PriceNormalisation`) that map the raw
+        metrics onto comparable unitless terms.
+    """
 
     def __init__(
         self,

@@ -37,7 +37,7 @@ from repro.core.policy import (
 )
 from repro.core.reconfiguration import ReconfigurationPlanner
 from repro.fabric.fabric import Fabric
-from repro.fabric.topology import canonical_key
+from repro.fabric.topology import merge_directed_values
 from repro.sim.fluid import FluidFlowSimulator
 from repro.sim.trace import NullTrace, TraceRecorder
 from repro.sim.units import microseconds
@@ -174,11 +174,7 @@ class ClosedRingControl:
         active_flow_count: int = 0,
     ) -> Observation:
         """Assemble the observation for this iteration and update link stats."""
-        utilisation = dict(link_utilisation) if link_utilisation else {}
-        canonical: Dict[LinkKey, float] = {}
-        for key, value in utilisation.items():
-            ckey = canonical_key(*key)
-            canonical[ckey] = max(canonical.get(ckey, 0.0), value)
+        canonical = merge_directed_values(link_utilisation or {})
         power_report = self.fabric.power_report()
         for key in self.fabric.topology.link_keys():
             link = self.fabric.topology.link_between(*key)
@@ -264,11 +260,7 @@ class ClosedRingControl:
         interval = period if period is not None else self.config.control_period
 
         def callback(sim: FluidFlowSimulator, now: float) -> None:
-            directed_utilisation = sim.instantaneous_link_utilisation()
-            utilisation: Dict[LinkKey, float] = {}
-            for (a, b), value in directed_utilisation.items():
-                key = canonical_key(str(a), str(b))
-                utilisation[key] = max(utilisation.get(key, 0.0), value)
+            utilisation = merge_directed_values(sim.instantaneous_link_utilisation())
             active = sim.active_flows()
             pending = sum(flow.bits_remaining for flow in active)
             by_pair: Dict[Tuple[str, str], float] = {}

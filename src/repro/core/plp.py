@@ -157,6 +157,15 @@ class PLPExecutor:
     is conserved across reconfigurations -- the Figure 2 scenario moves
     lanes from grid links into torus wrap-around links without ever
     exceeding the initial lane count.
+
+    Parameters
+    ----------
+    fabric:
+        The fabric the commands mutate.
+    delays:
+        Per-command-type reconfiguration delays
+        (:class:`ReconfigurationDelays`); defaults to the electrical end of
+        the design space.
     """
 
     def __init__(

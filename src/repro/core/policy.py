@@ -24,6 +24,7 @@ from repro.fabric.fabric import Fabric
 from repro.fabric.topology import TopologyBuilder
 from repro.phy.fec import AdaptiveFecController
 from repro.phy.power import PowerReport
+from repro.phy.stats import EwmaEstimator
 
 LinkKey = Tuple[str, str]
 
@@ -122,7 +123,26 @@ class LatencyMinimizationPolicy(ControlPolicy):
         planner: Optional[ReconfigurationPlanner] = None,
         harvest_per_link: int = 1,
         lanes_per_wraparound: int = 1,
+        demand_alpha: float = 0.25,
     ) -> None:
+        """Create the policy.
+
+        Parameters
+        ----------
+        rows, columns:
+            Grid dimensions the plan reconfigures from.
+        utilisation_threshold:
+            Hottest-link utilisation at which the plan is considered.
+        planner:
+            Shared go/no-go planner (the CRC passes its own so hysteresis
+            state is global); a private one is created when omitted.
+        harvest_per_link, lanes_per_wraparound:
+            Lane budget of the grid-to-torus plan.
+        demand_alpha:
+            EWMA coefficient for smoothing the observed pending demand; the
+            smoothed estimate is threaded into the planner so a one-tick
+            demand spike cannot trigger a reconfiguration.
+        """
         if not 0 < utilisation_threshold <= 1:
             raise ValueError("utilisation_threshold must be in (0, 1]")
         self.utilisation_threshold = utilisation_threshold
@@ -133,12 +153,18 @@ class LatencyMinimizationPolicy(ControlPolicy):
             harvest_per_link=harvest_per_link,
             lanes_per_wraparound=lanes_per_wraparound,
         )
+        # Seeded at zero so a spike on the very first iteration is damped
+        # like any other one-tick transient.
+        self.demand_ewma = EwmaEstimator(alpha=demand_alpha, initial=0.0)
         self.applied = False
         self.attempts = 0
 
     def decide(self, observation: Observation) -> List[PLPCommand]:  # noqa: D102
         if self.applied:
             return []
+        # Keep the demand average warm on every iteration, including the
+        # quiet ones -- that is what makes a sudden spike stand out from it.
+        self.demand_ewma.update(observation.pending_demand_bits)
         if observation.max_utilisation() < self.utilisation_threshold:
             return []
         self.attempts += 1
@@ -155,15 +181,24 @@ class LatencyMinimizationPolicy(ControlPolicy):
 
         current_rate, reconfigured_rate = self._estimate_rates(observation)
         demand = observation.pending_demand_bits
+        smoothed: Optional[float] = self.demand_ewma.value
         if demand <= 0:
             # Without demand information assume the congestion persists for at
             # least one control interval worth of traffic on the hottest link.
+            # The EWMA has only seen zeros in this case, so applying it would
+            # veto the fallback it is meant to smooth -- skip it.
             hottest = observation.hottest_links(1)
             if hottest:
                 key, _ = hottest[0]
                 demand = topology.link_between(*key).capacity_bps * 0.001
+            smoothed = None
         if not self.planner.should_apply(
-            plan, demand, current_rate, reconfigured_rate, now=observation.time
+            plan,
+            demand,
+            current_rate,
+            reconfigured_rate,
+            now=observation.time,
+            smoothed_demand_bits=smoothed,
         ):
             return []
         self.planner.commit(observation.time)

@@ -127,6 +127,18 @@ class GridToTorusPlan:
     harvested pool.  The plan refuses to run if the harvest cannot cover the
     wrap-around links -- conservation of the lane budget is exactly the
     paper's "even up within a heavily populated system" constraint.
+
+    Parameters
+    ----------
+    rows, columns:
+        Dimensions of the grid the plan starts from (both >= 2).
+    harvest_per_link:
+        Lanes removed from every grid link; each link must keep at least
+        one lane alive.
+    lanes_per_wraparound:
+        Bundle size of every created wrap-around link.  (The control
+        loop's :class:`~repro.core.control.GridToTorusCandidate` sizes
+        this to spend the whole harvested budget.)
     """
 
     def __init__(
@@ -225,6 +237,17 @@ class ReconfigurationPlanner:
     requires the benefit to exceed the cost by a hysteresis factor.  It also
     enforces a minimum interval between reconfigurations so that a noisy
     congestion signal cannot flap the topology.
+
+    Parameters
+    ----------
+    delays:
+        Delay model used to cost each plan's command batch.
+    hysteresis:
+        Benefit/cost factor (>= 1) a plan must clear; 1.0 approves any
+        net-positive plan, larger values demand a safety margin.
+    min_interval:
+        Minimum seconds between committed reconfigurations; go/no-go calls
+        inside the window are refused outright.
     """
 
     def __init__(
@@ -250,30 +273,67 @@ class ReconfigurationPlanner:
         current_rate_bps: float,
         reconfigured_rate_bps: float,
         now: float = 0.0,
+        smoothed_demand_bits: Optional[float] = None,
+        margin: float = 1.0,
     ) -> bool:
-        """Whether *plan* should be applied to serve *demand_bits*.
+        """Whether *plan* should be applied to serve the offered demand.
 
-        *current_rate_bps* and *reconfigured_rate_bps* are the effective
-        service rates for the demand before and after the plan (for the
-        grid-to-torus case the caller estimates these from the bottleneck
-        utilisation or bisection bandwidth).
+        Parameters
+        ----------
+        plan:
+            The candidate command batch; its duration (under :attr:`delays`)
+            is the cost side of the break-even comparison.
+        demand_bits:
+            Instantaneous demand estimate (e.g. remaining bits of the
+            currently active flows).
+        current_rate_bps, reconfigured_rate_bps:
+            Effective service rates for the demand before and after the plan
+            (for the grid-to-torus case the caller estimates these from the
+            bottleneck utilisation or bisection bandwidth).
+        now:
+            Current simulation time, for the minimum-interval check.
+        smoothed_demand_bits:
+            Telemetry-smoothed (EWMA) demand estimate.  When given, the
+            break-even test uses ``min(demand_bits, smoothed_demand_bits)``
+            so that a single-tick demand spike -- instantaneous demand high,
+            smoothed demand still low -- cannot trigger a reconfiguration;
+            the spike has to persist long enough to lift the average.
+        margin:
+            Extra break-even safety factor (>= 1).  The *effective* demand
+            must exceed the closed-form break-even flow size scaled by this
+            factor, on top of the hysteresis test.
         """
         if demand_bits < 0:
             raise ValueError("demand_bits must be >= 0")
+        if smoothed_demand_bits is not None and smoothed_demand_bits < 0:
+            raise ValueError("smoothed_demand_bits must be >= 0")
+        if margin < 1.0:
+            raise ValueError("margin must be >= 1.0")
         if self.last_reconfiguration_at is not None and (
             now - self.last_reconfiguration_at < self.min_interval
         ):
             self._record(now, plan, 0.0, False, "within min interval")
             return False
+        effective_demand = demand_bits
+        if smoothed_demand_bits is not None:
+            effective_demand = min(demand_bits, smoothed_demand_bits)
         duration = plan.duration_with(self.delays)
         gain = reconfiguration_gain(
-            demand_bits, current_rate_bps, reconfigured_rate_bps, duration
+            effective_demand, current_rate_bps, reconfigured_rate_bps, duration
         )
         # The gain must cover the cost (already subtracted) scaled by the
         # hysteresis margin of the *remaining* benefit.
         required_margin = duration * (self.hysteresis - 1.0)
         decision = gain > required_margin
-        self._record(now, plan, gain, decision, "")
+        if decision and margin > 1.0:
+            decision = worthwhile(
+                effective_demand,
+                current_rate_bps,
+                reconfigured_rate_bps,
+                duration,
+                margin=margin,
+            )
+        self._record(now, plan, gain, decision, "", demand_bits=effective_demand)
         return decision
 
     def commit(self, now: float) -> None:
@@ -287,12 +347,14 @@ class ReconfigurationPlanner:
         gain: float,
         decision: bool,
         note: str,
+        demand_bits: float = 0.0,
     ) -> None:
         self.decisions.append(
             {
                 "time": now,
                 "plan_commands": float(plan.command_count),
                 "gain": gain,
+                "demand_bits": demand_bits,
                 "applied": 1.0 if decision else 0.0,
             }
         )

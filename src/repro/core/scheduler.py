@@ -18,12 +18,15 @@ telemetry updates.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, FrozenSet, List, Mapping, Optional, Tuple
+
+import networkx as nx
 
 from repro.core.cost import LinkPriceTagger
 from repro.core.reconfiguration import break_even_flow_size
 from repro.fabric.fabric import Fabric
 from repro.fabric.routing import k_shortest_paths, path_links
+from repro.fabric.topology import merge_directed_values
 from repro.sim.flow import Flow
 
 LinkKey = Tuple[str, str]
@@ -44,7 +47,25 @@ class SchedulingDecision:
 
 
 class FlowScheduler:
-    """Price-aware flow admission."""
+    """Price-aware flow admission and re-pricing.
+
+    Parameters
+    ----------
+    fabric:
+        The fabric whose topology and bypass circuits the scheduler routes
+        over.
+    tagger:
+        Price-tag computer; a default-weighted one is created when omitted.
+    candidate_paths:
+        How many loop-free shortest paths to price per flow (the ``k`` of
+        the k-shortest-path candidate set).
+    reconfiguration_delay:
+        Delay charged when estimating whether a flow is large enough to
+        justify a reconfiguration (the break-even flag on decisions).
+    reconfiguration_speedup:
+        Rate multiplier a reconfiguration is assumed to buy when computing
+        that flag; must be > 1 or no flow would ever qualify.
+    """
 
     def __init__(
         self,
@@ -96,6 +117,18 @@ class FlowScheduler:
                 0.0, self.admitted_load_bps.get(key, 0.0) - rate_bps
             )
 
+    def sync_observed_load(self, directed_load_bps: Mapping[Tuple[str, str], float]) -> None:
+        """Replace the admitted-load estimate with measured per-link load.
+
+        *directed_load_bps* is keyed by directed ``(upstream, downstream)``
+        pairs (the fluid simulator's
+        :meth:`~repro.sim.fluid.FluidFlowSimulator.instantaneous_link_load`
+        shape); for each physical link the busier direction wins.  The
+        control loop calls this every tick so the scheduler's path prices
+        reflect live congestion rather than its own admission bookkeeping.
+        """
+        self.admitted_load_bps = merge_directed_values(directed_load_bps)
+
     # ------------------------------------------------------------------ #
     # Admission
     # ------------------------------------------------------------------ #
@@ -109,6 +142,49 @@ class FlowScheduler:
                 link, utilisation=self._estimated_utilisation(a, b)
             )
         return total
+
+    def cheapest_path(
+        self,
+        src: str,
+        dst: str,
+        exclude_directed: FrozenSet[Tuple[str, str]] = frozenset(),
+    ) -> Optional[Tuple[List[str], float]]:
+        """Cheapest of the candidate paths for a pair, with its price.
+
+        Parameters
+        ----------
+        src, dst:
+            The endpoints to route between.
+        exclude_directed:
+            Directed link keys that must not appear on the returned path --
+            the control loop passes the keys of links still training after a
+            reconfiguration, which exist in the topology but cannot carry
+            traffic yet.
+
+        Returns ``None`` when no candidate path avoids the excluded links
+        (or the pair is disconnected).
+        """
+        try:
+            candidates = k_shortest_paths(
+                self.fabric.topology, src, dst, self.candidate_paths
+            )
+        except (nx.NetworkXNoPath, nx.NodeNotFound):
+            return None  # pair disconnected (e.g. mid-reconfiguration)
+        viable = [
+            path
+            for path in candidates
+            if not any(
+                (path[i], path[i + 1]) in exclude_directed
+                for i in range(len(path) - 1)
+            )
+        ]
+        if not viable:
+            return None
+        # Price each candidate once; ties keep the earliest (shortest) path.
+        best_price, _, best = min(
+            (self.path_price(path), index, path) for index, path in enumerate(viable)
+        )
+        return best, best_price
 
     def admit(self, flow: Flow) -> SchedulingDecision:
         """Choose a forwarding decision for *flow*.

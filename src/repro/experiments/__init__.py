@@ -10,12 +10,15 @@ Three layers live here:
   scenarios with parameter grids and persists JSON result rows.
 
 :mod:`repro.experiments.figures` sits on top: the paper's figure rows are
-thin queries over sweep results.
+thin queries over sweep results.  :mod:`repro.experiments.comparison` runs
+one scenario under static / ECMP / adaptive control on identical flows.
 """
 
+from repro.experiments.comparison import COMPARISON_LABELS, adaptive_vs_static
 from repro.experiments.harness import (
     ExperimentResult,
     run_adaptive_experiment,
+    run_control_loop_experiment,
     run_fluid_experiment,
     build_fabric,
     build_grid_fabric,
@@ -49,8 +52,11 @@ from repro.experiments.sweep import (
 )
 
 __all__ = [
+    "COMPARISON_LABELS",
+    "adaptive_vs_static",
     "ExperimentResult",
     "run_adaptive_experiment",
+    "run_control_loop_experiment",
     "run_fluid_experiment",
     "build_fabric",
     "build_grid_fabric",

@@ -1,0 +1,112 @@
+"""Adaptive-versus-static comparison over one scenario.
+
+The paper's claim is comparative: an adaptive fabric must beat the same
+hardware left alone.  This module runs a registered scenario three ways on
+*identical* flows (same derived seed, same flow ids, same failure plan):
+
+* ``static``  -- :func:`repro.baselines.static_fabric.run_static_baseline`:
+  fixed shortest-path routing, no control;
+* ``ecmp``    -- :func:`repro.baselines.ecmp.run_ecmp_baseline`: per-flow
+  equal-cost multi-path hashing, the "software-only" answer to congestion;
+* ``adaptive``-- :func:`repro.experiments.harness.run_control_loop_experiment`:
+  the closed control loop with price-based rerouting and the grid-to-torus
+  candidate.
+
+``repro-fabric compare <scenario>`` prints the resulting table; the bundled
+benchmark (``benchmarks/bench_adaptive_vs_static.py``) asserts the adaptive
+run wins on mean FCT for the hotspot scenarios.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional
+
+from repro.experiments.harness import ExperimentResult, run_control_loop_experiment
+from repro.experiments.scenarios import (
+    Scenario,
+    derive_run_seed,
+    get_scenario,
+    loop_config_from_params,
+    materialize_run,
+    resolve_params,
+)
+
+#: The comparison's run labels, in report order.
+COMPARISON_LABELS = ("static", "ecmp", "adaptive")
+
+
+def _result_row(label: str, result: ExperimentResult, reconfigurations: int) -> Dict[str, object]:
+    return {
+        "label": label,
+        "mean_fct": result.mean_fct,
+        "p99_fct": result.p99_fct,
+        "makespan": result.makespan,
+        "straggler_ratio": result.straggler,
+        "completion_fraction": result.flows.completion_fraction(),
+        "power_watts": result.power_watts,
+        "reconfigurations": reconfigurations,
+    }
+
+
+def adaptive_vs_static(
+    scenario: "Scenario | str",
+    overrides: Optional[Mapping[str, object]] = None,
+    base_seed: int = 0,
+) -> List[Dict[str, object]]:
+    """Run *scenario* under static / ECMP / adaptive control, same flows.
+
+    Parameters
+    ----------
+    scenario:
+        Registered scenario (name or instance).  Its ``controller``
+        parameter is ignored -- this function pins the controller per run.
+    overrides:
+        Parameter overrides, as for
+        :func:`repro.experiments.scenarios.run_scenario`.
+    base_seed:
+        Seed the per-run workload seed is derived from.
+
+    Returns one result row per label in :data:`COMPARISON_LABELS`.  Every
+    run regenerates the flow list from the same derived seed with the flow
+    id counter reset, so all three controllers serve bit-identical
+    workloads (and identical failure plans, when the scenario declares
+    one).
+    """
+    # Imported here: the baselines import the experiments harness, so a
+    # module-level import would be circular through the package __init__.
+    from repro.baselines.ecmp import run_ecmp_baseline
+    from repro.baselines.static_fabric import run_static_baseline
+
+    if isinstance(scenario, str):
+        scenario = get_scenario(scenario)
+    merged = dict(overrides or {})
+    merged["controller"] = "none"  # resolve/validate once, without a controller
+    params = resolve_params(scenario, merged)
+    seed = derive_run_seed(base_seed, scenario.name, params)
+    grid = params["topology"] == "grid"
+
+    rows: List[Dict[str, object]] = []
+    for label in COMPARISON_LABELS:
+        fabric, flows, failure_events = materialize_run(scenario, params, seed)
+        reconfigurations = 0
+        if label == "static":
+            result = run_static_baseline(
+                fabric, flows, label=label, failure_events=failure_events
+            )
+        elif label == "ecmp":
+            result = run_ecmp_baseline(
+                fabric.topology, flows, label=label, failure_events=failure_events
+            )
+        else:
+            result, loop = run_control_loop_experiment(
+                fabric,
+                flows,
+                label=label,
+                loop_config=loop_config_from_params(params),
+                grid_rows=int(params["rows"]) if grid else None,
+                grid_columns=int(params["columns"]) if grid else None,
+                failure_events=failure_events,
+            )
+            reconfigurations = len(loop.reconfiguration_times)
+        rows.append(_result_row(label, result, reconfigurations))
+    return rows

@@ -11,12 +11,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.core.control import ControlLoop, ControlLoopConfig, GridToTorusCandidate, PlanCandidate
 from repro.core.crc import ClosedRingControl, CRCConfig
 from repro.fabric.fabric import Fabric, FabricConfig
+from repro.fabric.failures import FailureEvent, FailureInjector
 from repro.fabric.topology import Topology, TopologyBuilder
 from repro.sim.flow import Flow, FlowSet
 from repro.sim.fluid import FluidFlowSimulator, FluidResult
 from repro.sim.units import GBPS
+from repro.telemetry.collector import TelemetryCollector
 from repro.telemetry.metrics import straggler_ratio
 
 
@@ -151,6 +154,37 @@ def fabric_state_row(fabric: Fabric, packet_size_bytes: float = 1500.0) -> Dict[
 # --------------------------------------------------------------------------- #
 # Running experiments
 # --------------------------------------------------------------------------- #
+def _default_flow_rate_limit(fabric: Fabric) -> Optional[float]:
+    """Slowest endpoint NIC rate, the per-flow cap the fluid model applies."""
+    endpoints = fabric.topology.endpoints()
+    if not endpoints:
+        return None
+    return min(fabric.topology.node(name).nic_rate_bps for name in endpoints)
+
+
+def _build_fluid(
+    fabric: Fabric,
+    flows: Sequence[Flow],
+    flow_rate_limit_bps: Optional[float],
+    failure_events: Optional[Sequence[FailureEvent]],
+    failure_period: float,
+) -> Tuple[FluidFlowSimulator, Optional[FailureInjector]]:
+    """Fluid simulator preloaded with the fabric's links, flows and failures."""
+    if flow_rate_limit_bps is None:
+        flow_rate_limit_bps = _default_flow_rate_limit(fabric)
+    simulator = FluidFlowSimulator(flow_rate_limit_bps=flow_rate_limit_bps)
+    for key, capacity in fabric.directed_capacities().items():
+        simulator.add_link(key, capacity)
+    for flow in flows:
+        keys = fabric.route_keys(flow.src, flow.dst, flow_id=flow.flow_id)
+        simulator.add_flow(flow, keys)
+    injector: Optional[FailureInjector] = None
+    if failure_events:
+        injector = FailureInjector(fabric, failure_events)
+        injector.attach(simulator, period=failure_period)
+    return simulator, injector
+
+
 def run_fluid_experiment(
     fabric: Fabric,
     flows: Sequence[Flow],
@@ -159,25 +193,21 @@ def run_fluid_experiment(
     control_period: Optional[float] = None,
     flow_rate_limit_bps: Optional[float] = None,
     until: Optional[float] = None,
+    failure_events: Optional[Sequence[FailureEvent]] = None,
+    failure_period: float = 1e-4,
 ) -> ExperimentResult:
     """Run *flows* over *fabric*, optionally under CRC control.
 
     Flows are routed on the fabric's current router at admission time; when
     a CRC is attached, it may change capacities and re-route active flows on
-    every control tick.
+    every control tick.  *failure_events* (if given) are injected into the
+    running simulation by a :class:`~repro.fabric.failures.FailureInjector`
+    sampling every *failure_period* seconds, so baselines feel the same
+    failures an adaptive run does.
     """
-    if flow_rate_limit_bps is None:
-        endpoints = fabric.topology.endpoints()
-        if endpoints:
-            flow_rate_limit_bps = min(
-                fabric.topology.node(name).nic_rate_bps for name in endpoints
-            )
-    simulator = FluidFlowSimulator(flow_rate_limit_bps=flow_rate_limit_bps)
-    for key, capacity in fabric.directed_capacities().items():
-        simulator.add_link(key, capacity)
-    for flow in flows:
-        keys = fabric.route_keys(flow.src, flow.dst, flow_id=flow.flow_id)
-        simulator.add_flow(flow, keys)
+    simulator, _ = _build_fluid(
+        fabric, flows, flow_rate_limit_bps, failure_events, failure_period
+    )
     if crc is not None:
         crc.attach(simulator, period=control_period)
     fluid_result = simulator.run(until=until)
@@ -225,3 +255,75 @@ def run_adaptive_experiment(
         control_period=crc_config.control_period,
     )
     return result, crc
+
+
+def run_control_loop_experiment(
+    fabric: Fabric,
+    flows: Sequence[Flow],
+    label: str = "adaptive",
+    loop_config: Optional[ControlLoopConfig] = None,
+    candidates: Optional[Sequence[PlanCandidate]] = None,
+    grid_rows: Optional[int] = None,
+    grid_columns: Optional[int] = None,
+    telemetry: Optional[TelemetryCollector] = None,
+    flow_rate_limit_bps: Optional[float] = None,
+    until: Optional[float] = None,
+    failure_events: Optional[Sequence[FailureEvent]] = None,
+    failure_period: float = 1e-4,
+) -> Tuple[ExperimentResult, ControlLoop]:
+    """Run *flows* over *fabric* under the closed control loop.
+
+    This is the dynamic-scenario runner: a
+    :class:`~repro.core.control.ControlLoop` is bound to the fluid
+    simulation and drives telemetry, pricing, flow re-scheduling and
+    reconfiguration from its own periodic process on the event engine.
+
+    Parameters
+    ----------
+    fabric:
+        The fabric under control.
+    flows:
+        The workload; initial routes come from the fabric's router.
+    loop_config:
+        Control-loop knobs (defaults otherwise).
+    candidates:
+        Reconfiguration candidates.  When ``None`` and *grid_rows* /
+        *grid_columns* are given, a single capacity-preserving
+        :class:`~repro.core.control.GridToTorusCandidate` is installed.
+    telemetry:
+        Optional shared collector for the loop's time series.
+    failure_events:
+        Failures injected mid-run (the loop must steer around them).
+    failure_period:
+        Failure-injector sampling period.  The default matches
+        :func:`run_fluid_experiment`'s, so a static baseline and an
+        adaptive run of the same scenario feel each failure at the same
+        simulated time regardless of the loop's control interval.
+
+    Returns the experiment result and the loop, so callers can inspect
+    ticks, reconfiguration times and telemetry.
+    """
+    loop_config = loop_config if loop_config is not None else ControlLoopConfig()
+    if candidates is None:
+        candidates = (
+            [GridToTorusCandidate(grid_rows, grid_columns)]
+            if grid_rows is not None and grid_columns is not None
+            else []
+        )
+    simulator, _ = _build_fluid(
+        fabric, flows, flow_rate_limit_bps, failure_events, failure_period
+    )
+    loop = ControlLoop(fabric, candidates=candidates, config=loop_config, telemetry=telemetry)
+    loop.bind(simulator)
+    fluid_result = loop.run(until=until)
+    flow_set = FlowSet(flows)
+    return (
+        ExperimentResult(
+            label=label,
+            fluid=fluid_result,
+            flows=flow_set,
+            crc_summary=loop.summary(),
+            power_watts=fabric.power_report().total_watts,
+        ),
+        loop,
+    )

@@ -30,15 +30,18 @@ from __future__ import annotations
 
 import hashlib
 import json
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Mapping, Optional, Sequence
 
+from repro.core.control import ControlLoopConfig
 from repro.core.crc import ClosedRingControl, CRCConfig
 from repro.experiments.harness import (
     build_fabric,
     fabric_state_row,
+    run_control_loop_experiment,
     run_fluid_experiment,
 )
+from repro.fabric.failures import FailureEvent, FailureKind
 from repro.fabric.topology import TopologyBuilder
 from repro.sim.flow import Flow, reset_flow_ids
 from repro.sim.units import GBPS, megabytes, microseconds
@@ -55,6 +58,11 @@ from repro.workloads.uniform import UniformRandomWorkload
 #: into the flow list the simulator runs.
 FlowFactory = Callable[[WorkloadSpec, Mapping[str, object]], List[Flow]]
 
+#: ``(spec, params) -> failure events``: how a dynamic scenario declares the
+#: failures injected into its run (applied identically to every controller
+#: so comparisons stay like-for-like).
+FailureFactory = Callable[[WorkloadSpec, Mapping[str, object]], List[FailureEvent]]
+
 
 class ScenarioError(ValueError):
     """Raised for unknown scenarios, duplicate names or bad parameters."""
@@ -67,6 +75,7 @@ COMMON_DEFAULTS: Dict[str, object] = {
     "columns": 3,
     "lanes_per_link": 2,
     "crc": False,                # attach a Closed Ring Control (grid only)
+    "controller": "none",        # "none", "crc" or "loop" (the ControlLoop)
     "utilisation_threshold": 0.5,
     "control_period_us": 500.0,
     "mean_flow_mb": 2.0,
@@ -75,7 +84,14 @@ COMMON_DEFAULTS: Dict[str, object] = {
 #: Fabric-side keys: they change how the fabric is built or controlled but
 #: must not change which flows the workload generates (see module docstring).
 FABRIC_PARAM_KEYS = frozenset(
-    {"topology", "lanes_per_link", "crc", "utilisation_threshold", "control_period_us"}
+    {
+        "topology",
+        "lanes_per_link",
+        "crc",
+        "controller",
+        "utilisation_threshold",
+        "control_period_us",
+    }
 )
 
 #: Workload-generator classes by their ``name`` attribute; ``list-scenarios``
@@ -118,6 +134,9 @@ class Scenario:
     workload: str
     flows: FlowFactory = field(repr=False)
     defaults: Mapping[str, object] = field(default_factory=dict)
+    #: Optional failure-plan factory for dynamic scenarios; the events are
+    #: injected into every run of the scenario regardless of controller.
+    failures: Optional[FailureFactory] = field(default=None, repr=False)
 
     def parameters(self) -> Dict[str, object]:
         """The full default parameter set (common defaults + scenario's own)."""
@@ -139,12 +158,20 @@ _REGISTRY: Dict[str, Scenario] = {}
 
 
 def register_scenario(
-    name: str, description: str, workload: str, **defaults: object
+    name: str,
+    description: str,
+    workload: str,
+    failures: Optional[FailureFactory] = None,
+    **defaults: object,
 ) -> Callable[[FlowFactory], FlowFactory]:
     """Decorator registering a flow factory as the scenario *name*.
 
     ``defaults`` become the scenario's extra parameters; any of them (and
     any common parameter) can be overridden per run or swept over a grid.
+    *failures* optionally declares the scenario's failure plan (a callable
+    from ``(spec, params)`` to :class:`~repro.fabric.failures.FailureEvent`
+    lists); the events are injected into every run of the scenario so
+    static/adaptive comparisons feel identical failures.
     """
 
     def decorate(factory: FlowFactory) -> FlowFactory:
@@ -160,6 +187,7 @@ def register_scenario(
             workload=workload,
             flows=factory,
             defaults=dict(defaults),
+            failures=failures,
         )
         return factory
 
@@ -228,10 +256,20 @@ def resolve_params(
                 params[key] = float(value)
             except (TypeError, ValueError):
                 raise ScenarioError(f"{key} must be a number, got {value!r}") from None
-    if params["crc"] and params["topology"] != "grid":
+    if params["controller"] not in ("none", "crc", "loop"):
         raise ScenarioError(
-            "crc=True drives the grid-to-torus reconfiguration and requires "
-            "topology='grid'"
+            f"controller must be 'none', 'crc' or 'loop', got {params['controller']!r}"
+        )
+    if params["crc"]:
+        # Legacy spelling of controller="crc"; keep both in sync.
+        if params["controller"] not in ("none", "crc"):
+            raise ScenarioError("crc=True conflicts with controller="
+                                f"{params['controller']!r}; pick one")
+        params["controller"] = "crc"
+    if params["controller"] == "crc" and params["topology"] != "grid":
+        raise ScenarioError(
+            "controller='crc' (or crc=True) drives the grid-to-torus "
+            "reconfiguration and requires topology='grid'"
         )
     if int(params["rows"]) < 2 or int(params["columns"]) < 2:
         raise ScenarioError("rows and columns must both be >= 2")
@@ -261,6 +299,46 @@ def derive_run_seed(
 # --------------------------------------------------------------------------- #
 # Running one scenario
 # --------------------------------------------------------------------------- #
+def materialize_run(
+    scenario: Scenario, params: Mapping[str, object], seed: int
+) -> tuple:
+    """Build the fabric, flow list and failure plan for one resolved run.
+
+    This is the single place a (scenario, params, seed) triple turns into
+    concrete simulation inputs; :func:`run_scenario` and the
+    static-vs-adaptive comparison both call it, so they are guaranteed to
+    serve bit-identical workloads.  The global flow-id counter is reset
+    first: flow ids feed multipath route selection, so a run's routing is a
+    function of its config alone, not of what ran before it.
+    """
+    reset_flow_ids()
+    fabric = build_fabric(
+        str(params["topology"]),
+        int(params["rows"]),
+        int(params["columns"]),
+        lanes_per_link=int(params["lanes_per_link"]),
+    )
+    spec = WorkloadSpec(
+        nodes=fabric.topology.endpoints(),
+        mean_flow_size_bits=megabytes(float(params["mean_flow_mb"])),
+        seed=seed,
+        tag=scenario.name,
+    )
+    flows = scenario.flows(spec, params)
+    failure_events = (
+        scenario.failures(spec, params) if scenario.failures is not None else None
+    )
+    return fabric, flows, failure_events
+
+
+def loop_config_from_params(params: Mapping[str, object]) -> ControlLoopConfig:
+    """The control-loop configuration a resolved parameter set asks for."""
+    return ControlLoopConfig(
+        interval=microseconds(float(params["control_period_us"])),
+        utilisation_threshold=float(params["utilisation_threshold"]),
+    )
+
+
 def run_scenario(
     scenario: "Scenario | str",
     overrides: Optional[Mapping[str, object]] = None,
@@ -276,41 +354,49 @@ def run_scenario(
         scenario = get_scenario(scenario)
     params = resolve_params(scenario, overrides)
     seed = derive_run_seed(base_seed, scenario.name, params)
+    fabric, flows, failure_events = materialize_run(scenario, params, seed)
 
-    # Flow ids feed multipath route selection; reset them so a run's routing
-    # is a function of its config alone, not of what ran before it.
-    reset_flow_ids()
-    fabric = build_fabric(
-        str(params["topology"]),
-        int(params["rows"]),
-        int(params["columns"]),
-        lanes_per_link=int(params["lanes_per_link"]),
-    )
-    spec = WorkloadSpec(
-        nodes=fabric.topology.endpoints(),
-        mean_flow_size_bits=megabytes(float(params["mean_flow_mb"])),
-        seed=seed,
-        tag=scenario.name,
-    )
-    flows = scenario.flows(spec, params)
-
-    crc: Optional[ClosedRingControl] = None
-    control_period: Optional[float] = None
-    if params["crc"]:
-        control_period = microseconds(float(params["control_period_us"]))
-        crc = ClosedRingControl(
+    controller = str(params["controller"])
+    control_period = microseconds(float(params["control_period_us"]))
+    reconfigurations = 0
+    flows_rerouted = 0
+    if controller == "loop":
+        loop_config = loop_config_from_params(params)
+        grid = params["topology"] == "grid"
+        result, loop = run_control_loop_experiment(
             fabric,
-            CRCConfig(
-                enable_topology_reconfiguration=True,
-                grid_rows=int(params["rows"]),
-                grid_columns=int(params["columns"]),
-                utilisation_threshold=float(params["utilisation_threshold"]),
-                control_period=control_period,
-            ),
+            flows,
+            label=scenario.name,
+            loop_config=loop_config,
+            grid_rows=int(params["rows"]) if grid else None,
+            grid_columns=int(params["columns"]) if grid else None,
+            failure_events=failure_events,
         )
-    result = run_fluid_experiment(
-        fabric, flows, label=scenario.name, crc=crc, control_period=control_period
-    )
+        reconfigurations = len(loop.reconfiguration_times)
+        flows_rerouted = loop.flows_rerouted_total
+    else:
+        crc: Optional[ClosedRingControl] = None
+        if controller == "crc":
+            crc = ClosedRingControl(
+                fabric,
+                CRCConfig(
+                    enable_topology_reconfiguration=True,
+                    grid_rows=int(params["rows"]),
+                    grid_columns=int(params["columns"]),
+                    utilisation_threshold=float(params["utilisation_threshold"]),
+                    control_period=control_period,
+                ),
+            )
+        result = run_fluid_experiment(
+            fabric,
+            flows,
+            label=scenario.name,
+            crc=crc,
+            control_period=control_period if crc is not None else None,
+            failure_events=failure_events,
+        )
+        if crc is not None:
+            reconfigurations = len(crc.reconfiguration_times)
 
     metrics: Dict[str, object] = {
         "num_flows": len(flows),
@@ -321,7 +407,8 @@ def run_scenario(
         "p99_fct": result.p99_fct,
         "straggler_ratio": result.straggler,
         "power_watts": result.power_watts,
-        "reconfigurations": len(crc.reconfiguration_times) if crc is not None else 0,
+        "reconfigurations": reconfigurations,
+        "flows_rerouted": flows_rerouted,
     }
     metrics.update(fabric_state_row(fabric))
     return {
@@ -534,3 +621,97 @@ def _trace_ring(spec: WorkloadSpec, params: Mapping[str, object]) -> List[Flow]:
         for index in range(len(nodes))
     ]
     return TraceReplayWorkload(spec, records).generate()
+
+
+# --------------------------------------------------------------------------- #
+# Dynamic scenarios (driven by the control loop; see docs/control-loop.md)
+# --------------------------------------------------------------------------- #
+@register_scenario(
+    "hotspot_migration",
+    "Hotspot that migrates mid-run: one grid diagonal goes hot, then the "
+    "other, over uniform background (the control loop must keep up)",
+    workload="hotspot",
+    controller="loop",
+    num_flows=0,  # 0 = auto: 2 flows per node per phase
+    hot_fraction=0.6,
+    phase_gap_us=800.0,
+)
+def _hotspot_migration(spec: WorkloadSpec, params: Mapping[str, object]) -> List[Flow]:
+    num_flows = int(params["num_flows"])
+    if num_flows <= 0:
+        num_flows = 2 * int(params["rows"]) * int(params["columns"])
+    gap = microseconds(float(params["phase_gap_us"]))
+    pairs = _grid_corner_pairs(params)
+    first = HotspotWorkload(
+        spec,
+        num_flows=num_flows,
+        hot_fraction=float(params["hot_fraction"]),
+        hot_pairs=[pairs[0]],
+    ).generate()
+    second = HotspotWorkload(
+        replace(spec, seed=spec.seed + 1, start_time=gap),
+        num_flows=num_flows,
+        hot_fraction=float(params["hot_fraction"]),
+        hot_pairs=[pairs[1]],
+    ).generate()
+    return sorted(first + second, key=lambda flow: (flow.start_time, flow.flow_id))
+
+
+@register_scenario(
+    "load_shift_uniform_to_permutation",
+    "Uniform random burst that shifts into a permutation pattern mid-run: "
+    "diffuse load first, adversarial point-to-point load second",
+    workload="uniform-random",
+    controller="loop",
+    num_flows=24,
+    shift_us=600.0,
+)
+def _load_shift(spec: WorkloadSpec, params: Mapping[str, object]) -> List[Flow]:
+    first = UniformRandomWorkload(spec, num_flows=int(params["num_flows"])).generate()
+    second = PermutationWorkload(
+        replace(spec, seed=spec.seed + 1, start_time=microseconds(float(params["shift_us"])))
+    ).generate()
+    return sorted(first + second, key=lambda flow: (flow.start_time, flow.flow_id))
+
+
+def _central_link(params: Mapping[str, object]) -> tuple:
+    """The most central horizontal grid link (exists in grid and torus)."""
+    rows, columns = int(params["rows"]), int(params["columns"])
+    name = TopologyBuilder.grid_node_name
+    row = rows // 2
+    column = (columns - 1) // 2
+    return (name(row, column), name(row, column + 1))
+
+
+def _failure_recovery_events(
+    spec: WorkloadSpec, params: Mapping[str, object]
+) -> List[FailureEvent]:
+    """Fail the central link mid-run; bring it back later."""
+    endpoints = _central_link(params)
+    return [
+        FailureEvent(
+            time=microseconds(float(params["fail_us"])),
+            kind=FailureKind.LINK_FAILURE,
+            endpoints=endpoints,
+        ),
+        FailureEvent(
+            time=microseconds(float(params["recover_us"])),
+            kind=FailureKind.LINK_RECOVERY,
+            endpoints=endpoints,
+        ),
+    ]
+
+
+@register_scenario(
+    "failure_recovery",
+    "Uniform burst with a mid-run central-link failure and later recovery: "
+    "the control loop steers flows around the outage and back",
+    workload="uniform-random",
+    failures=_failure_recovery_events,
+    controller="loop",
+    num_flows=32,
+    fail_us=300.0,
+    recover_us=1500.0,
+)
+def _failure_recovery(spec: WorkloadSpec, params: Mapping[str, object]) -> List[Flow]:
+    return UniformRandomWorkload(spec, num_flows=int(params["num_flows"])).generate()

@@ -39,6 +39,21 @@ def canonical_key(a: str, b: str) -> LinkKey:
     return (a, b) if a <= b else (b, a)
 
 
+def merge_directed_values(directed):
+    """Fold per-direction link values onto canonical keys, worse direction wins.
+
+    *directed* maps ``(upstream, downstream)`` pairs to a scalar (load,
+    utilisation, ...); the result maps :func:`canonical_key` keys to the
+    maximum over both directions -- the convention every consumer of
+    per-link congestion signals (CRC, scheduler, control loop) shares.
+    """
+    merged = {}
+    for (a, b), value in directed.items():
+        key = canonical_key(str(a), str(b))
+        merged[key] = max(merged.get(key, 0.0), value)
+    return merged
+
+
 class Topology:
     """A mutable rack-fabric topology."""
 

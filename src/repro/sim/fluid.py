@@ -95,6 +95,10 @@ class FluidFlowSimulator:
         self.flow_rate_limit_bps = flow_rate_limit_bps
         self._links: Dict[LinkKey, FluidLink] = {}
         self._pending: List[Tuple[float, Flow, List[LinkKey]]] = []
+        #: Index of the first not-yet-admitted entry of ``_pending``; kept as
+        #: instance state so :meth:`run` is resumable (run-to-a-time, mutate,
+        #: run again) without re-admitting flows.
+        self._pending_cursor = 0
         self._active: Dict[int, Flow] = {}
         self._routes: Dict[int, List[LinkKey]] = {}
         self._rates: Dict[int, float] = {}
@@ -102,6 +106,9 @@ class FluidFlowSimulator:
         self._now = 0.0
         self._events = 0
         self._controllers: List[Tuple[float, Callable[["FluidFlowSimulator", float], None], float]] = []
+        #: Next absolute fire time of each registered controller (parallel to
+        #: ``_controllers``); instance state for the same resumability reason.
+        self._controller_next: List[float] = []
 
     # ------------------------------------------------------------------ #
     # Configuration
@@ -170,6 +177,9 @@ class FluidFlowSimulator:
         if period <= 0:
             raise ValueError(f"controller period must be positive, got {period!r}")
         self._controllers.append((period, callback, start_offset))
+        # First fire at the offset, or immediately if registered mid-run with
+        # an offset already in the past.
+        self._controller_next.append(max(start_offset, self._now))
 
     # ------------------------------------------------------------------ #
     # Controller-facing runtime API
@@ -189,6 +199,11 @@ class FluidFlowSimulator:
     def active_flows(self) -> List[Flow]:
         """Currently active flows."""
         return list(self._active.values())
+
+    @property
+    def pending_flow_count(self) -> int:
+        """Registered flows that have not yet been admitted."""
+        return len(self._pending) - self._pending_cursor
 
     def active_flow_rates(self) -> Dict[int, float]:
         """Current max-min fair rate of each active flow."""
@@ -290,20 +305,26 @@ class FluidFlowSimulator:
         The loop advances between events, integrating flow progress at the
         current rates.  Events are: the next pending flow arrival, the next
         predicted flow completion, and the next controller tick.
+
+        The call is **resumable**: ``run(until=t)`` may be followed by link or
+        route mutations and another ``run(until=t2)`` call, and the simulation
+        continues from where it stopped (flows are never re-admitted, and
+        controller schedules carry across calls).  This is what lets the
+        :class:`~repro.core.control.ControlLoop` drive the fluid model in
+        lock-step with the discrete-event engine.
         """
-        self._pending.sort(key=lambda item: item[0])
-        pending_index = 0
-        controller_next: List[float] = [
-            offset for (_, _, offset) in self._controllers
-        ]
+        tail = sorted(self._pending[self._pending_cursor :], key=lambda item: item[0])
+        self._pending[self._pending_cursor :] = tail
+        # Controllers registered for a time now in the past fire immediately.
+        self._controller_next = [max(t, self._now) for t in self._controller_next]
 
         def next_arrival_time() -> float:
-            if pending_index < len(self._pending):
-                return self._pending[pending_index][0]
+            if self._pending_cursor < len(self._pending):
+                return self._pending[self._pending_cursor][0]
             return math.inf
 
         def next_controller_time() -> float:
-            return min(controller_next) if controller_next else math.inf
+            return min(self._controller_next) if self._controller_next else math.inf
 
         self._rates = self._compute_rates()
 
@@ -318,7 +339,7 @@ class FluidFlowSimulator:
             if (
                 until is None
                 and not self._active
-                and pending_index >= len(self._pending)
+                and self._pending_cursor >= len(self._pending)
                 and next_time == control_time
             ):
                 # Only controller ticks remain and there is no traffic left
@@ -335,17 +356,17 @@ class FluidFlowSimulator:
                 self._complete_flow(completing_id)
             elif next_time == arrival_time:
                 while (
-                    pending_index < len(self._pending)
-                    and self._pending[pending_index][0] <= self._now + _EPSILON
+                    self._pending_cursor < len(self._pending)
+                    and self._pending[self._pending_cursor][0] <= self._now + _EPSILON
                 ):
-                    _, flow, path = self._pending[pending_index]
-                    pending_index += 1
+                    _, flow, path = self._pending[self._pending_cursor]
+                    self._pending_cursor += 1
                     self._admit(flow, path)
             else:
                 for index, (period, callback, _) in enumerate(self._controllers):
-                    if abs(controller_next[index] - next_time) <= _EPSILON:
+                    if abs(self._controller_next[index] - next_time) <= _EPSILON:
                         callback(self, self._now)
-                        controller_next[index] = next_time + period
+                        self._controller_next[index] = next_time + period
             self._rates = self._compute_rates()
 
         end_time = self._now if until is None else max(self._now, until if until is not None else 0.0)

@@ -1,0 +1,288 @@
+"""Control-loop runtime tests.
+
+Covers the contracts the closed loop is built on: deterministic tick
+ordering on the event engine, resumable fluid simulation, hysteresis and
+EWMA spike protection in the go/no-go path, demand conservation across a
+mid-flight reconfiguration, and the headline comparative claim (the
+adaptive fabric beats the static one on hotspot FCT).
+"""
+
+import math
+
+import pytest
+
+from repro.core.control import (
+    ControlLoop,
+    ControlLoopConfig,
+    GridToTorusCandidate,
+)
+from repro.core.plp import ReconfigurationDelays
+from repro.core.reconfiguration import ReconfigurationPlanner
+from repro.experiments.comparison import adaptive_vs_static
+from repro.experiments.harness import (
+    build_grid_fabric,
+    run_control_loop_experiment,
+)
+from repro.fabric.topology import TopologyBuilder
+from repro.sim.engine import Simulator
+from repro.sim.flow import Flow, FlowSet, reset_flow_ids
+from repro.sim.fluid import FluidFlowSimulator
+from repro.sim.process import PeriodicProcess
+from repro.sim.units import megabytes, microseconds
+from repro.workloads.base import WorkloadSpec
+from repro.workloads.hotspot import HotspotWorkload
+
+
+def _corner_pairs(rows, columns):
+    name = TopologyBuilder.grid_node_name
+    return [
+        (name(0, 0), name(rows - 1, columns - 1)),
+        (name(0, columns - 1), name(rows - 1, 0)),
+    ]
+
+
+def _hotspot_flows(rows=3, columns=3, num_flows=18, seed=7):
+    reset_flow_ids()
+    fabric = build_grid_fabric(rows, columns, lanes_per_link=2)
+    spec = WorkloadSpec(
+        nodes=fabric.topology.endpoints(),
+        mean_flow_size_bits=megabytes(1.0),
+        seed=seed,
+    )
+    flows = HotspotWorkload(
+        spec,
+        num_flows=num_flows,
+        hot_fraction=0.6,
+        hot_pairs=_corner_pairs(rows, columns),
+    ).generate()
+    return fabric, flows
+
+
+def _run_loop(fabric, flows, **config_kwargs):
+    config = ControlLoopConfig(interval=microseconds(100.0), **config_kwargs)
+    result, loop = run_control_loop_experiment(
+        fabric,
+        flows,
+        loop_config=config,
+        grid_rows=3,
+        grid_columns=3,
+    )
+    return result, loop
+
+
+# --------------------------------------------------------------------------- #
+# Deterministic ticks on the engine
+# --------------------------------------------------------------------------- #
+def test_ticks_land_on_engine_grid_and_runs_are_reproducible():
+    records = []
+    for _ in range(2):
+        fabric, flows = _hotspot_flows()
+        result, loop = _run_loop(fabric, flows)
+        interval = loop.config.interval
+        for index, tick in enumerate(loop.ticks, start=1):
+            assert tick.time == pytest.approx(index * interval)
+            assert tick.index == index
+        records.append(
+            (
+                [f.fct for f in flows],
+                [(t.time, t.flows_rerouted, t.reconfigured) for t in loop.ticks],
+                loop.reconfiguration_times,
+            )
+        )
+    # Bit-identical across runs: the loop adds no hidden nondeterminism.
+    assert records[0] == records[1]
+
+
+def test_engine_orders_same_time_events_by_schedule_order():
+    simulator = Simulator()
+    order = []
+    first = PeriodicProcess(simulator, "first", period=1.0, callback=lambda now: order.append("first"))
+    second = PeriodicProcess(simulator, "second", period=1.0, callback=lambda now: order.append("second"))
+    first.start()
+    second.start()
+    simulator.run(until=3.0)
+    # Fires at t = 0, 1, 2, 3; same-time events run in schedule order.
+    assert order == ["first", "second"] * 4
+
+
+def test_control_loop_requires_binding():
+    fabric, _ = _hotspot_flows()
+    loop = ControlLoop(fabric)
+    with pytest.raises(RuntimeError, match="bind"):
+        loop.run()
+    loop.bind(FluidFlowSimulator())
+    with pytest.raises(RuntimeError, match="already bound"):
+        loop.bind(FluidFlowSimulator())
+
+
+# --------------------------------------------------------------------------- #
+# Resumable fluid simulation
+# --------------------------------------------------------------------------- #
+def test_fluid_run_is_resumable_without_readmitting_flows():
+    reset_flow_ids()
+    simulator = FluidFlowSimulator()
+    simulator.add_link("l", 100.0)
+    flow_a = Flow(src="a", dst="b", size_bits=100.0, start_time=0.0)
+    simulator.add_flow(flow_a, ["l"])
+    simulator.run(until=0.5)
+    assert flow_a.bits_remaining == pytest.approx(50.0)
+    assert simulator.pending_flow_count == 0
+    # Mutate mid-run and resume: a second flow arrives, capacity halves.
+    flow_b = Flow(src="a", dst="b", size_bits=25.0, start_time=0.6)
+    simulator.add_flow(flow_b, ["l"])
+    simulator.set_capacity("l", 50.0)
+    simulator.run()
+    assert flow_a.completed and flow_b.completed
+    assert flow_a.metadata["activated_at"] == 0.0  # never re-admitted
+
+
+# --------------------------------------------------------------------------- #
+# Hysteresis, spike protection and flap prevention
+# --------------------------------------------------------------------------- #
+def test_high_hysteresis_prevents_reconfiguration():
+    fabric, flows = _hotspot_flows()
+    _, eager = _run_loop(fabric, flows, hysteresis=1.0)
+    assert len(eager.reconfiguration_times) == 1
+
+    fabric, flows = _hotspot_flows()
+    _, reluctant = _run_loop(fabric, flows, hysteresis=1e6)
+    assert reluctant.reconfiguration_times == []
+    # The plan was evaluated and turned down, not simply never considered.
+    assert any(tick.plans_evaluated > 0 for tick in reluctant.ticks)
+    assert all(d["applied"] == 0.0 for d in reluctant.planner.decisions)
+
+
+def test_planner_min_interval_prevents_flapping():
+    delays = ReconfigurationDelays()
+    planner = ReconfigurationPlanner(delays=delays, min_interval=1.0)
+    candidate = GridToTorusCandidate(3, 3)
+    fabric = build_grid_fabric(3, 3, lanes_per_link=2)
+    proposal = candidate.propose(fabric, delays)
+    assert planner.should_apply(
+        proposal.plan,
+        1e9,
+        proposal.current_rate_bps,
+        proposal.reconfigured_rate_bps,
+        now=0.0,
+    )
+    planner.commit(0.0)
+    # Identical (still profitable) plan immediately afterwards: refused.
+    assert not planner.should_apply(
+        proposal.plan,
+        1e9,
+        proposal.current_rate_bps,
+        proposal.reconfigured_rate_bps,
+        now=0.5,
+    )
+    assert planner.decisions[-1]["applied"] == 0.0
+    # Once the interval has elapsed it may fire again.
+    assert planner.should_apply(
+        proposal.plan,
+        1e9,
+        proposal.current_rate_bps,
+        proposal.reconfigured_rate_bps,
+        now=1.5,
+    )
+
+
+def test_smoothed_demand_blocks_one_tick_spike():
+    delays = ReconfigurationDelays()
+    planner = ReconfigurationPlanner(delays=delays)
+    candidate = GridToTorusCandidate(3, 3)
+    fabric = build_grid_fabric(3, 3, lanes_per_link=2)
+    proposal = candidate.propose(fabric, delays)
+    spike = 1e12
+    # Instantaneous-only view: the spike clears the break-even test.
+    assert planner.should_apply(
+        proposal.plan,
+        spike,
+        proposal.current_rate_bps,
+        proposal.reconfigured_rate_bps,
+        now=0.0,
+    )
+    # Smoothed view: the EWMA still remembers an idle fabric, so the same
+    # spike is rejected -- it has to persist to lift the average.
+    assert not planner.should_apply(
+        proposal.plan,
+        spike,
+        proposal.current_rate_bps,
+        proposal.reconfigured_rate_bps,
+        now=0.0,
+        smoothed_demand_bits=0.0,
+    )
+    assert planner.decisions[-1]["demand_bits"] == 0.0
+
+
+# --------------------------------------------------------------------------- #
+# Mid-flight reconfiguration
+# --------------------------------------------------------------------------- #
+def test_reconfiguration_mid_flight_loses_no_demand():
+    fabric, flows = _hotspot_flows()
+    total_bits = sum(flow.size_bits for flow in flows)
+    result, loop = _run_loop(fabric, flows)
+    assert len(loop.reconfiguration_times) == 1
+    reconfigured_at = loop.reconfiguration_times[0]
+    flow_set = FlowSet(flows)
+    assert flow_set.completion_fraction() == 1.0
+    assert all(flow.bits_remaining == 0.0 for flow in flows)
+    # Flows in flight at the reconfiguration instant still finished.
+    in_flight = [
+        flow
+        for flow in flows
+        if flow.metadata["activated_at"] <= reconfigured_at
+        and flow.completion_time > reconfigured_at
+    ]
+    assert in_flight
+    assert all(flow.completed for flow in in_flight)
+    # The delivered volume matches the offered volume exactly.
+    delivered = sum(
+        result.fluid.link_bits_carried[key]
+        for key in result.fluid.link_bits_carried
+    )
+    assert delivered >= total_bits  # multi-hop paths carry each bit per hop
+    # The torus wrap-around links exist and carried traffic after training.
+    name = TopologyBuilder.grid_node_name
+    wrap = (name(0, 0), name(2, 0))
+    assert fabric.topology.has_link(*wrap)
+    assert result.fluid.link_bits_carried[wrap] + result.fluid.link_bits_carried[
+        (wrap[1], wrap[0])
+    ] > 0
+
+
+def test_new_links_train_before_carrying_traffic():
+    fabric, flows = _hotspot_flows()
+    _, loop = _run_loop(fabric, flows)
+    start = loop.reconfiguration_times[0]
+    delays = loop.config.delays
+    expected_completion = start + delays.link_create
+    started = [t for t in loop.ticks if t.reconfigured]
+    assert started and started[0].transition_until == pytest.approx(expected_completion)
+    # After the transition no tick reports it as still open.
+    later = [t for t in loop.ticks if t.time > expected_completion]
+    assert all(t.transition_until is None for t in later)
+
+
+# --------------------------------------------------------------------------- #
+# The comparative claim
+# --------------------------------------------------------------------------- #
+def test_adaptive_beats_static_on_hotspot_fct():
+    rows = adaptive_vs_static("hotspot_migration")
+    by_label = {row["label"]: row for row in rows}
+    assert by_label["adaptive"]["reconfigurations"] >= 1
+    assert by_label["adaptive"]["completion_fraction"] == 1.0
+    assert by_label["adaptive"]["mean_fct"] < by_label["static"]["mean_fct"]
+
+
+def test_loop_summary_counters_are_consistent():
+    fabric, flows = _hotspot_flows()
+    _, loop = _run_loop(fabric, flows)
+    summary = loop.summary()
+    assert summary["iterations"] == len(loop.ticks)
+    assert summary["reconfigurations"] == len(loop.reconfiguration_times)
+    # The total includes the forced wave at transition completion, which
+    # happens between tick records.
+    assert summary["flows_rerouted"] >= sum(t.flows_rerouted for t in loop.ticks)
+    assert summary["commands_failed"] == 0.0
+    # Telemetry recorded one sample per tick for the headline series.
+    series = loop.telemetry.series("max_utilisation")
+    assert len(series.samples) == len(loop.ticks)
