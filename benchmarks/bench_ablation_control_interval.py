@@ -9,8 +9,9 @@ reconfiguration happened and what the workload makespan was.
 
 import pytest
 
-from repro.core.crc import ClosedRingControl, CRCConfig
-from repro.experiments.harness import build_grid_fabric, run_fluid_experiment
+from repro.core.crc import CRCConfig
+from repro.experiments.api import ExperimentSpec, run_experiment
+from repro.experiments.harness import build_grid_fabric
 from repro.sim.units import megabytes, microseconds, milliseconds
 from repro.telemetry.report import format_table
 from repro.workloads.base import WorkloadSpec
@@ -27,33 +28,38 @@ PERIODS = {
 def _run_with_period(label):
     period = PERIODS[label]
     fabric = build_grid_fabric(3, 3, lanes_per_link=2)
-    crc = ClosedRingControl(
-        fabric,
-        CRCConfig(
-            enable_topology_reconfiguration=True,
-            grid_rows=3,
-            grid_columns=3,
-            utilisation_threshold=0.5,
-            control_period=period,
-            enable_bypass=False,
-            enable_adaptive_fec=False,
-        ),
-    )
     names = fabric.topology.endpoints()
     spec = WorkloadSpec(nodes=names, mean_flow_size_bits=megabytes(2), seed=21)
     flows = HotspotWorkload(
         spec, num_flows=18, hot_fraction=0.6,
         hot_pairs=[("n0x0", "n2x2"), ("n0x2", "n2x0")],
     ).generate()
-    result = run_fluid_experiment(
-        fabric, flows, label=label, crc=crc, control_period=period
+    record = run_experiment(
+        ExperimentSpec(
+            fabric=fabric,
+            flows=flows,
+            label=label,
+            controller="crc",
+            controller_config={
+                "config": CRCConfig(
+                    enable_topology_reconfiguration=True,
+                    grid_rows=3,
+                    grid_columns=3,
+                    utilisation_threshold=0.5,
+                    control_period=period,
+                    enable_bypass=False,
+                    enable_adaptive_fec=False,
+                ),
+            },
+        )
     )
+    crc = record.controller_instance.crc
     first_reconfig = crc.reconfiguration_times[0] if crc.reconfiguration_times else None
     return {
         "control_period": period,
         "iterations": len(crc.iterations),
         "first_reconfiguration": first_reconfig,
-        "makespan": result.makespan,
+        "makespan": record.makespan,
     }
 
 

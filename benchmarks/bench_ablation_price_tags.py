@@ -9,7 +9,8 @@ congestion-aware pricing should spread load better than latency-only.
 import pytest
 
 from repro.core.cost import LinkPriceTagger, PriceWeights
-from repro.experiments.harness import build_grid_fabric, run_fluid_experiment
+from repro.experiments.api import ExperimentSpec, run_experiment
+from repro.experiments.harness import build_grid_fabric
 from repro.sim.units import megabytes
 from repro.telemetry.report import format_table
 from repro.workloads.base import WorkloadSpec
@@ -37,12 +38,12 @@ def _run_with_weights(name):
     tagger = LinkPriceTagger(weights=weights)
     expected_hot = {("n1x1", "n1x2"): 0.9, ("n0x1", "n1x1"): 0.9}
     fabric.set_router_weight(tagger.weight_fn(expected_hot))
-    result = run_fluid_experiment(fabric, flows, label=name)
-    utilisation = result.fluid.link_utilisation()
+    record = run_experiment(ExperimentSpec(fabric=fabric, flows=flows, label=name))
+    utilisation = record.fluid.link_utilisation()
     return {
         "weighting": name,
-        "makespan": result.makespan,
-        "mean_fct": result.mean_fct,
+        "makespan": record.makespan,
+        "mean_fct": record.mean_fct,
         "peak_link_utilisation": max(utilisation.values()),
     }
 

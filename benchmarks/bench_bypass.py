@@ -9,12 +9,12 @@ the CRC's bypass policy.
 
 import pytest
 
-from repro.core.crc import ClosedRingControl, CRCConfig
+from repro.core.crc import CRCConfig
 from repro.core.plp import PLPCommand, PLPCommandType, PLPExecutor
-from repro.experiments.harness import build_grid_fabric, run_fluid_experiment
+from repro.experiments.api import ExperimentSpec, run_experiment
 from repro.fabric.fabric import Fabric, FabricConfig
 from repro.fabric.topology import TopologyBuilder
-from repro.sim.units import GBPS, bits_from_bytes, megabytes, microseconds
+from repro.sim.units import bits_from_bytes, megabytes, microseconds
 from repro.telemetry.report import format_table
 from repro.workloads.base import WorkloadSpec
 from repro.workloads.hotspot import HotspotWorkload
@@ -67,29 +67,32 @@ def _hotspot_with_budget(max_circuits):
         TopologyBuilder(lanes_per_link=2).grid(3, 3),
         FabricConfig(max_bypass_circuits=max_circuits),
     )
-    crc = ClosedRingControl(
-        fabric,
-        CRCConfig(
-            enable_bypass=True,
-            enable_adaptive_fec=False,
-            control_period=microseconds(200),
-            bypass_min_demand_bits=megabytes(1),
-        ),
-    )
     names = fabric.topology.endpoints()
     spec = WorkloadSpec(nodes=names, mean_flow_size_bits=megabytes(2), seed=8)
     workload = HotspotWorkload(
         spec, num_flows=24, hot_fraction=0.5,
         hot_pairs=[("n0x0", "n2x2"), ("n0x2", "n2x0")],
     )
-    result = run_fluid_experiment(
-        fabric, workload.generate(), label=f"budget-{max_circuits}", crc=crc,
-        control_period=microseconds(200),
+    record = run_experiment(
+        ExperimentSpec(
+            fabric=fabric,
+            flows=workload.generate(),
+            label=f"budget-{max_circuits}",
+            controller="crc",
+            controller_config={
+                "config": CRCConfig(
+                    enable_bypass=True,
+                    enable_adaptive_fec=False,
+                    control_period=microseconds(200),
+                    bypass_min_demand_bits=megabytes(1),
+                ),
+            },
+        )
     )
     return {
         "max_circuits": max_circuits,
         "circuits_established": fabric.bypasses.total_established,
-        "makespan": result.makespan,
+        "makespan": record.makespan,
     }
 
 

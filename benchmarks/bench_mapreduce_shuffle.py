@@ -30,8 +30,8 @@ def _adaptive_vs_static(rows, columns):
         "control_period_us": 100.0,
     }
     runs = [
-        SweepRun("mapreduce-skewed", {**base, "crc": False}, base_seed=2),
-        SweepRun("mapreduce-skewed", {**base, "crc": True}, base_seed=2),
+        SweepRun("mapreduce-skewed", {**base, "controller": "none"}, base_seed=2),
+        SweepRun("mapreduce-skewed", {**base, "controller": "crc"}, base_seed=2),
     ]
     return execute_runs(runs, workers=1)
 
@@ -41,7 +41,8 @@ def test_mapreduce_static_vs_adaptive(benchmark, dimensions):
     rows, columns = dimensions
     result = benchmark.pedantic(_adaptive_vs_static, args=dimensions, rounds=1, iterations=1)
     static, adaptive = (row["metrics"] for row in result)
-    assert result[0]["params"]["crc"] is False and result[1]["params"]["crc"] is True
+    assert result[0]["params"]["controller"] == "none"
+    assert result[1]["params"]["controller"] == "crc"
     assert adaptive["makespan"] is not None and static["makespan"] is not None
     # The adaptive fabric must not regress the shuffle badly, and the
     # straggler (the paper's headline concern) must not get worse.

@@ -9,8 +9,9 @@ shed lanes to respect a sweep of power caps, reporting the throughput cost.
 import pytest
 
 from repro.analysis.power import lane_power_sweep, rack_power_estimate
-from repro.core.crc import ClosedRingControl, CRCConfig
-from repro.experiments.harness import build_grid_fabric, run_fluid_experiment
+from repro.core.crc import CRCConfig
+from repro.experiments.api import ExperimentSpec, run_experiment
+from repro.experiments.harness import build_grid_fabric
 from repro.sim.units import megabytes, microseconds
 from repro.telemetry.report import format_table
 from repro.workloads.base import WorkloadSpec
@@ -60,27 +61,31 @@ def _run_capped(cap_fraction):
     fabric = build_grid_fabric(3, 3, lanes_per_link=2)
     uncapped = fabric.power_report().total_watts
     cap = uncapped * cap_fraction
-    crc = ClosedRingControl(
-        fabric,
-        CRCConfig(
-            power_cap_watts=cap,
-            enable_bypass=False,
-            enable_adaptive_fec=False,
-            control_period=microseconds(200),
-        ),
-    )
     names = fabric.topology.endpoints()
     spec = WorkloadSpec(nodes=names, mean_flow_size_bits=megabytes(1), seed=6)
     flows = UniformRandomWorkload(spec, num_flows=30).generate()
-    result = run_fluid_experiment(
-        fabric, flows, label=f"cap-{cap_fraction}", crc=crc, control_period=microseconds(200)
+    record = run_experiment(
+        ExperimentSpec(
+            fabric=fabric,
+            flows=flows,
+            label=f"cap-{cap_fraction}",
+            controller="crc",
+            controller_config={
+                "config": CRCConfig(
+                    power_cap_watts=cap,
+                    enable_bypass=False,
+                    enable_adaptive_fec=False,
+                    control_period=microseconds(200),
+                ),
+            },
+        )
     )
     return {
         "cap_fraction": cap_fraction,
         "cap_watts": cap,
         "final_watts": fabric.power_report().total_watts,
         "active_lanes": fabric.topology.total_active_lanes(),
-        "makespan": result.makespan,
+        "makespan": record.makespan,
     }
 
 

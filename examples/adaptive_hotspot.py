@@ -1,17 +1,19 @@
 """The control loop end-to-end: a migrating hotspot on a 3x3 rack.
 
 Phase 1 concentrates traffic on one grid diagonal; 800 us in, the hotspot
-migrates to the other.  The ControlLoop watches telemetry, prices links,
-reroutes flows, and fires the grid-to-torus reconfiguration when the
-break-even test says it pays.  Run: PYTHONPATH=src python examples/adaptive_hotspot.py
+migrates to the other.  The ``loop`` controller watches telemetry, prices
+links, reroutes flows, and fires the grid-to-torus reconfiguration when
+the break-even test says it pays.  Both runs go through the single
+``run_experiment`` entrypoint -- only the controller name differs.
+Run: PYTHONPATH=src python examples/adaptive_hotspot.py
 """
 
 from repro import (
     ControlLoopConfig,
+    ExperimentSpec,
     WorkloadSpec,
     build_grid_fabric,
-    run_control_loop_experiment,
-    run_static_baseline,
+    run_experiment,
 )
 from repro.fabric.topology import TopologyBuilder
 from repro.sim.flow import reset_flow_ids
@@ -42,16 +44,29 @@ def fabric_and_flows(phase_gap=microseconds(800.0)):
 
 
 if __name__ == "__main__":
-    static = run_static_baseline(*fabric_and_flows())
+    fabric, flows = fabric_and_flows()
+    static = run_experiment(
+        ExperimentSpec(fabric=fabric, flows=flows, label="static", controller="static")
+    )
 
     fabric, flows = fabric_and_flows()
-    result, loop = run_control_loop_experiment(
-        fabric, flows,
-        loop_config=ControlLoopConfig(interval=microseconds(100.0)),
-        grid_rows=ROWS, grid_columns=COLUMNS)
+    adaptive = run_experiment(
+        ExperimentSpec(
+            fabric=fabric,
+            flows=flows,
+            label="adaptive",
+            controller="loop",
+            controller_config={
+                "config": ControlLoopConfig(interval=microseconds(100.0)),
+                "grid_rows": ROWS,
+                "grid_columns": COLUMNS,
+            },
+        )
+    )
+    loop = adaptive.controller_instance.loop
 
     print(f"static   mean FCT: {static.mean_fct * 1e3:.3f} ms")
-    print(f"adaptive mean FCT: {result.mean_fct * 1e3:.3f} ms")
+    print(f"adaptive mean FCT: {adaptive.mean_fct * 1e3:.3f} ms")
     print(f"reconfigurations:  {[f'{t * 1e6:.0f} us' for t in loop.reconfiguration_times]}")
     print(f"flows rerouted:    {loop.flows_rerouted_total}")
     print(f"fabric now:        {len(fabric.topology.links())} links (grid had 12)")

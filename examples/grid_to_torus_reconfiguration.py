@@ -15,12 +15,12 @@ Run with::
 
 from repro import (
     CRCConfig,
-    ClosedRingControl,
+    ExperimentSpec,
     GridToTorusPlan,
     HotspotWorkload,
     WorkloadSpec,
     build_grid_fabric,
-    run_fluid_experiment,
+    run_experiment,
 )
 from repro.sim.units import bits_from_bytes, megabytes
 from repro.telemetry.report import format_table
@@ -58,16 +58,6 @@ def main() -> None:
           f"{plan.expected_duration * 1e6:.1f} us")
     print()
 
-    crc = ClosedRingControl(
-        fabric,
-        CRCConfig(
-            enable_topology_reconfiguration=True,
-            grid_rows=ROWS,
-            grid_columns=COLUMNS,
-            utilisation_threshold=0.5,
-        ),
-    )
-
     # Hotspot traffic across the grid's long diagonals -- exactly the pattern
     # the wrap-around links shorten.
     spec = WorkloadSpec(
@@ -80,7 +70,23 @@ def main() -> None:
         hot_pairs=[("n0x0", f"n{ROWS - 1}x{COLUMNS - 1}"), (f"n0x{COLUMNS - 1}", f"n{ROWS - 1}x0")],
     )
 
-    result = run_fluid_experiment(fabric, workload.generate(), label="figure2", crc=crc)
+    record = run_experiment(
+        ExperimentSpec(
+            fabric=fabric,
+            flows=workload.generate(),
+            label="figure2",
+            controller="crc",
+            controller_config={
+                "config": CRCConfig(
+                    enable_topology_reconfiguration=True,
+                    grid_rows=ROWS,
+                    grid_columns=COLUMNS,
+                    utilisation_threshold=0.5,
+                ),
+            },
+        )
+    )
+    crc = record.controller_instance.crc
 
     rows.append(describe_fabric(fabric, "adaptive (after CRC)"))
     print(
@@ -92,7 +98,7 @@ def main() -> None:
         )
     )
     print()
-    print(f"workload makespan: {result.makespan:.6f} s")
+    print(f"workload makespan: {record.makespan:.6f} s")
     print(f"CRC iterations: {len(crc.iterations)}, "
           f"reconfiguration batches: {len(crc.reconfiguration_times)}")
     if crc.reconfiguration_times:

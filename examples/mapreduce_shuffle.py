@@ -4,7 +4,8 @@
 pulls down the performance of an entire system."  This example runs the
 same skewed shuffle over three fabrics -- a static grid, the adaptive
 fabric, and an idealised circuit-switched oracle -- and compares makespan,
-tail FCT and the straggler ratio.
+tail FCT and the straggler ratio.  The grid runs differ only in the
+controller name handed to ``run_experiment``.
 
 Run with::
 
@@ -13,12 +14,12 @@ Run with::
 
 from repro import (
     CRCConfig,
-    ClosedRingControl,
+    ExperimentSpec,
     MapReduceShuffleWorkload,
     OracleCircuitBaseline,
     WorkloadSpec,
     build_grid_fabric,
-    run_fluid_experiment,
+    run_experiment,
 )
 from repro.sim.units import GBPS, megabytes
 from repro.telemetry.metrics import straggler_ratio
@@ -44,22 +45,33 @@ def main() -> None:
     rows = []
 
     # Static grid, no control loop.
-    static_fabric = build_grid_fabric(ROWS, COLUMNS, lanes_per_link=2)
-    static = run_fluid_experiment(static_fabric, make_flows(2), label="grid-static")
+    static = run_experiment(
+        ExperimentSpec(
+            fabric=build_grid_fabric(ROWS, COLUMNS, lanes_per_link=2),
+            flows=make_flows(2),
+            label="grid-static",
+            controller="static",
+        )
+    )
     rows.append(["grid-static", static.makespan, static.mean_fct, static.p99_fct, static.straggler])
 
     # Adaptive fabric under the CRC.
-    adaptive_fabric = build_grid_fabric(ROWS, COLUMNS, lanes_per_link=2)
-    crc = ClosedRingControl(
-        adaptive_fabric,
-        CRCConfig(
-            enable_topology_reconfiguration=True,
-            grid_rows=ROWS,
-            grid_columns=COLUMNS,
-            utilisation_threshold=0.5,
-        ),
+    adaptive = run_experiment(
+        ExperimentSpec(
+            fabric=build_grid_fabric(ROWS, COLUMNS, lanes_per_link=2),
+            flows=make_flows(2),
+            label="adaptive-crc",
+            controller="crc",
+            controller_config={
+                "config": CRCConfig(
+                    enable_topology_reconfiguration=True,
+                    grid_rows=ROWS,
+                    grid_columns=COLUMNS,
+                    utilisation_threshold=0.5,
+                ),
+            },
+        )
     )
-    adaptive = run_fluid_experiment(adaptive_fabric, make_flows(2), label="adaptive-crc", crc=crc)
     rows.append(["adaptive-crc", adaptive.makespan, adaptive.mean_fct, adaptive.p99_fct, adaptive.straggler])
 
     # Idealised circuit-switched oracle (every flow a dedicated circuit).
@@ -83,7 +95,8 @@ def main() -> None:
         )
     )
     print()
-    print(f"adaptive fabric reconfigurations: {len(crc.reconfiguration_times)}")
+    print(f"adaptive fabric reconfigurations: "
+          f"{adaptive.controller_summary.reconfigurations}")
     print(
         "the reducer-side straggler ratio is the paper's concern: the adaptive "
         "fabric keeps it at or below the static grid's."

@@ -11,7 +11,13 @@ Run with::
     python examples/power_capped_rack.py
 """
 
-from repro import CRCConfig, ClosedRingControl, WorkloadSpec, build_grid_fabric, run_fluid_experiment
+from repro import (
+    CRCConfig,
+    ExperimentSpec,
+    WorkloadSpec,
+    build_grid_fabric,
+    run_experiment,
+)
 from repro.sim.units import megabytes, microseconds
 from repro.telemetry.report import format_table
 from repro.workloads.storage import DisaggregatedStorageWorkload
@@ -23,30 +29,33 @@ def run_with_cap(cap_fraction: float):
     fabric = build_grid_fabric(ROWS, COLUMNS, lanes_per_link=2)
     uncapped_watts = fabric.power_report().total_watts
     cap = uncapped_watts * cap_fraction
-    crc = ClosedRingControl(
-        fabric,
-        CRCConfig(
-            power_cap_watts=cap,
-            enable_bypass=False,
-            enable_adaptive_fec=False,
-            control_period=microseconds(200),
-        ),
-    )
     spec = WorkloadSpec(
         nodes=fabric.topology.endpoints(), mean_flow_size_bits=megabytes(1), seed=6
     )
     workload = DisaggregatedStorageWorkload(spec, num_requests=120, requests_per_second=5e4)
-    result = run_fluid_experiment(
-        fabric, workload.generate(), label=f"cap {cap_fraction:.0%}", crc=crc,
-        control_period=microseconds(200),
+    record = run_experiment(
+        ExperimentSpec(
+            fabric=fabric,
+            flows=workload.generate(),
+            label=f"cap {cap_fraction:.0%}",
+            controller="crc",
+            controller_config={
+                "config": CRCConfig(
+                    power_cap_watts=cap,
+                    enable_bypass=False,
+                    enable_adaptive_fec=False,
+                    control_period=microseconds(200),
+                ),
+            },
+        )
     )
     return [
         f"{cap_fraction:.0%}",
         round(cap, 1),
         round(fabric.power_report().total_watts, 1),
         fabric.topology.total_active_lanes(),
-        result.makespan,
-        result.p99_fct,
+        record.makespan,
+        record.p99_fct,
     ]
 
 

@@ -1,9 +1,9 @@
 """Quickstart: an adaptive rack fabric in ~40 lines.
 
-Builds a 4x4 grid of disaggregated sleds at two lanes per link, attaches a
-Closed Ring Control that is allowed to reconfigure the grid into a torus,
-runs a small MapReduce shuffle through the fluid simulator and prints the
-headline results.
+Builds a 4x4 grid of disaggregated sleds at two lanes per link, runs a
+small MapReduce shuffle through the single experiment entrypoint with the
+``crc`` controller (a Closed Ring Control allowed to reconfigure the grid
+into a torus), and prints the headline results.
 
 Run with::
 
@@ -12,11 +12,11 @@ Run with::
 
 from repro import (
     CRCConfig,
-    ClosedRingControl,
+    ExperimentSpec,
     MapReduceShuffleWorkload,
     WorkloadSpec,
     build_grid_fabric,
-    run_fluid_experiment,
+    run_experiment,
 )
 from repro.sim.units import megabytes
 from repro.telemetry.report import format_table
@@ -31,38 +31,42 @@ def main() -> None:
     print(f"initial diameter: {fabric.topology.diameter()} hops, "
           f"power: {fabric.power_report().total_watts:.1f} W")
 
-    # 2. The controller: latency-minimising CRC allowed to re-deploy lanes.
-    crc = ClosedRingControl(
-        fabric,
-        CRCConfig(
-            enable_topology_reconfiguration=True,
-            grid_rows=ROWS,
-            grid_columns=COLUMNS,
-            utilisation_threshold=0.5,
-        ),
-    )
-
-    # 3. The workload: an all-to-all shuffle, the paper's motivating example.
+    # 2. The workload: an all-to-all shuffle, the paper's motivating example.
     spec = WorkloadSpec(
         nodes=fabric.topology.endpoints(), mean_flow_size_bits=megabytes(4), seed=1
     )
     flows = MapReduceShuffleWorkload(spec).generate()
 
-    # 4. Run it.
-    result = run_fluid_experiment(fabric, flows, label="quickstart", crc=crc)
+    # 3. Run it under the latency-minimising CRC, which may re-deploy lanes.
+    record = run_experiment(
+        ExperimentSpec(
+            fabric=fabric,
+            flows=flows,
+            label="quickstart",
+            controller="crc",
+            controller_config={
+                "config": CRCConfig(
+                    enable_topology_reconfiguration=True,
+                    grid_rows=ROWS,
+                    grid_columns=COLUMNS,
+                    utilisation_threshold=0.5,
+                ),
+            },
+        )
+    )
 
-    # 5. Report.
+    # 4. Report.
     print()
     print(
         format_table(
             ["metric", "value"],
             [
-                ["flows", len(result.flows)],
-                ["makespan (s)", result.makespan],
-                ["mean FCT (s)", result.mean_fct],
-                ["p99 FCT (s)", result.p99_fct],
-                ["straggler ratio", result.straggler],
-                ["CRC reconfigurations", len(crc.reconfiguration_times)],
+                ["flows", len(record.flows)],
+                ["makespan (s)", record.makespan],
+                ["mean FCT (s)", record.mean_fct],
+                ["p99 FCT (s)", record.p99_fct],
+                ["straggler ratio", record.straggler],
+                ["CRC reconfigurations", record.controller_summary.reconfigurations],
                 ["final diameter (hops)", fabric.topology.diameter()],
                 ["final power (W)", fabric.power_report().total_watts],
             ],

@@ -17,7 +17,7 @@ switch core) which is exactly what an *oracle* baseline should be.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Sequence
 
 from repro.sim.flow import Flow, FlowSet
 from repro.sim.units import GBPS

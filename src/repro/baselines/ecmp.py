@@ -1,13 +1,17 @@
-"""Static ECMP baseline: multi-path load balancing without reconfiguration."""
+"""Static ECMP baseline: multi-path load balancing without reconfiguration.
+
+Deprecated module-level entrypoint; the ``"ecmp"`` controller registered in
+:mod:`repro.core.controllers` is the supported way to run this baseline
+through :func:`~repro.experiments.api.run_experiment`.
+"""
 
 from __future__ import annotations
 
 from typing import Optional, Sequence
 
-from repro.experiments.harness import ExperimentResult, run_fluid_experiment
+from repro.experiments.harness import ExperimentResult, _legacy_result, _warn_legacy
 from repro.fabric.fabric import Fabric, FabricConfig
 from repro.fabric.failures import FailureEvent
-from repro.fabric.routing import Router, RoutingPolicy
 from repro.fabric.topology import Topology
 from repro.sim.flow import Flow
 
@@ -20,7 +24,8 @@ def run_ecmp_baseline(
     flow_rate_limit_bps: Optional[float] = None,
     failure_events: Optional[Sequence[FailureEvent]] = None,
 ) -> ExperimentResult:
-    """Run *flows* over *topology* with per-flow ECMP hashing and no CRC.
+    """Deprecated: use :func:`~repro.experiments.api.run_experiment` with
+    ``controller="ecmp"``.
 
     ECMP is what a conventional packet-switched rack does about congestion:
     spread flows over equal-cost paths and hope the hash is kind.  It needs
@@ -28,14 +33,21 @@ def run_ecmp_baseline(
     for the adaptive fabric.  *failure_events* (if any) are injected the
     same way as in the adaptive runs.
     """
-    config = fabric_config if fabric_config is not None else FabricConfig()
-    fabric = Fabric(topology, config)
-    fabric.router = Router(topology, policy=RoutingPolicy.ECMP)
-    return run_fluid_experiment(
-        fabric,
-        flows,
-        label=label,
-        crc=None,
-        flow_rate_limit_bps=flow_rate_limit_bps,
-        failure_events=failure_events,
+    _warn_legacy(
+        "run_ecmp_baseline",
+        "run_experiment(ExperimentSpec(..., controller='ecmp'))",
     )
+    from repro.experiments.api import ExperimentSpec, run_experiment
+
+    config = fabric_config if fabric_config is not None else FabricConfig()
+    record = run_experiment(
+        ExperimentSpec(
+            fabric=Fabric(topology, config),
+            flows=flows,
+            label=label,
+            controller="ecmp",
+            failures=tuple(failure_events or ()),
+            flow_rate_limit_bps=flow_rate_limit_bps,
+        )
+    )
+    return _legacy_result(record)

@@ -1,10 +1,15 @@
-"""Static fabric baseline: same hardware, no control loop."""
+"""Static fabric baseline: same hardware, no control loop.
+
+Deprecated module-level entrypoint; the ``"static"`` controller registered
+in :mod:`repro.core.controllers` is the supported way to run this baseline
+through :func:`~repro.experiments.api.run_experiment`.
+"""
 
 from __future__ import annotations
 
 from typing import Optional, Sequence
 
-from repro.experiments.harness import ExperimentResult, run_fluid_experiment
+from repro.experiments.harness import ExperimentResult, _legacy_result, _warn_legacy
 from repro.fabric.fabric import Fabric
 from repro.fabric.failures import FailureEvent
 from repro.sim.flow import Flow
@@ -18,19 +23,29 @@ def run_static_baseline(
     until: Optional[float] = None,
     failure_events: Optional[Sequence[FailureEvent]] = None,
 ) -> ExperimentResult:
-    """Run *flows* over *fabric* with no CRC attached.
+    """Deprecated: use :func:`~repro.experiments.api.run_experiment` with
+    ``controller="static"``.
 
     This is the "do nothing" comparator: routing is fixed shortest-path on
     the initial topology, capacities never change, no bypasses are carved.
     *failure_events* (if any) still land mid-run -- a static fabric suffers
     failures, it just cannot react to them.
     """
-    return run_fluid_experiment(
-        fabric,
-        flows,
-        label=label,
-        crc=None,
-        flow_rate_limit_bps=flow_rate_limit_bps,
-        until=until,
-        failure_events=failure_events,
+    _warn_legacy(
+        "run_static_baseline",
+        "run_experiment(ExperimentSpec(..., controller='static'))",
     )
+    from repro.experiments.api import ExperimentSpec, run_experiment
+
+    record = run_experiment(
+        ExperimentSpec(
+            fabric=fabric,
+            flows=flows,
+            label=label,
+            controller="static",
+            failures=tuple(failure_events or ()),
+            until=until,
+            flow_rate_limit_bps=flow_rate_limit_bps,
+        )
+    )
+    return _legacy_result(record)

@@ -10,11 +10,17 @@ Examples
     repro-fabric breakeven
     repro-fabric validate
     repro-fabric list-scenarios
+    repro-fabric list-controllers
     repro-fabric run mapreduce-skewed --set rows=4 --set skew_factor=3.0
-    repro-fabric run hotspot_migration
+    repro-fabric run hotspot_migration --set controller=ecmp
     repro-fabric compare hotspot_migration
     repro-fabric sweep --scenario permutation --scenario incast \\
-        --grid rows=3,4 --grid crc=false,true --workers 4 --output sweep.jsonl
+        --grid rows=3,4 --grid controller=none,crc --workers 4 --output sweep.jsonl
+
+Every ``run``/``compare``/``sweep`` invocation goes through the single
+experiment entrypoint (:func:`repro.experiments.api.run_experiment`); the
+``controller`` parameter selects any controller registered in
+:mod:`repro.core.controllers` by name.
 """
 
 from __future__ import annotations
@@ -27,6 +33,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.breakeven import break_even_curve
 from repro.analysis.validation import validate_against_analytical, validation_summary
+from repro.core.controllers import controller_catalog
 from repro.experiments.comparison import adaptive_vs_static
 from repro.experiments.figures import figure1_rows, figure2_rows, mapreduce_comparison_rows
 from repro.experiments.scenarios import ScenarioError, list_scenarios, run_scenario
@@ -147,6 +154,12 @@ def _cmd_list_scenarios(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_list_controllers(args: argparse.Namespace) -> int:
+    rows = controller_catalog()
+    _print_rows(f"Registered controllers ({len(rows)})", rows)
+    return 0
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     overrides: Dict[str, object] = {}
     for key, value in args.set or []:
@@ -257,6 +270,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="also print each scenario's traffic pattern and default parameters",
     )
     ls.set_defaults(func=_cmd_list_scenarios)
+
+    lc = sub.add_parser("list-controllers", help="enumerate the controller registry")
+    lc.set_defaults(func=_cmd_list_controllers)
 
     run = sub.add_parser("run", help="run one registered scenario, print its JSON row")
     run.add_argument("scenario", help="scenario name (see list-scenarios)")

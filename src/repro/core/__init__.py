@@ -17,6 +17,10 @@
   a :class:`~repro.core.control.ControlLoop` process on the event engine
   that drives telemetry, pricing, scheduling and reconfiguration inside a
   running fluid simulation.
+* :mod:`repro.core.controllers` -- the :class:`Controller` protocol and its
+  name registry: every control strategy (``none``, ``static``, ``ecmp``,
+  ``crc``, ``loop``, or a third-party registration) becomes interchangeable
+  behind :func:`repro.experiments.api.run_experiment`.
 """
 
 from repro.core.control import (
@@ -26,6 +30,14 @@ from repro.core.control import (
     GridToTorusCandidate,
     PlanCandidate,
     PlanProposal,
+)
+from repro.core.controllers import (
+    Controller,
+    ControllerError,
+    ControllerSummary,
+    controller_names,
+    create_controller,
+    register_controller,
 )
 from repro.core.cost import LinkPriceTagger, PriceWeights
 from repro.core.crc import ClosedRingControl, CRCConfig
@@ -55,6 +67,12 @@ from repro.core.reconfiguration import (
 from repro.core.scheduler import FlowScheduler, SchedulingDecision
 
 __all__ = [
+    "Controller",
+    "ControllerError",
+    "ControllerSummary",
+    "controller_names",
+    "create_controller",
+    "register_controller",
     "ControlLoop",
     "ControlLoopConfig",
     "ControlTick",

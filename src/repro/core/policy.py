@@ -14,12 +14,8 @@ import abc
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.core.plp import PLPCommand, PLPCommandType, ReconfigurationDelays
-from repro.core.reconfiguration import (
-    GridToTorusPlan,
-    ReconfigurationPlan,
-    ReconfigurationPlanner,
-)
+from repro.core.plp import PLPCommand, PLPCommandType
+from repro.core.reconfiguration import GridToTorusPlan, ReconfigurationPlanner
 from repro.fabric.fabric import Fabric
 from repro.fabric.topology import TopologyBuilder
 from repro.phy.fec import AdaptiveFecController

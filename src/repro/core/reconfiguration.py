@@ -20,10 +20,10 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.plp import PLPCommand, PLPCommandType, ReconfigurationDelays
-from repro.fabric.topology import Topology, TopologyBuilder, canonical_key
+from repro.fabric.topology import Topology, TopologyBuilder
 
 
 # --------------------------------------------------------------------------- #

@@ -1,9 +1,13 @@
-"""Shared experiment harness used by the benchmarks and the examples.
+"""Shared experiment layer used by the benchmarks, examples and the CLI.
 
-Three layers live here:
+The layers, bottom up:
 
-* :mod:`repro.experiments.harness` -- build a fabric, run flows through the
-  fluid simulator, summarise the outcome,
+* :mod:`repro.experiments.harness` -- fabric builders, fabric-state
+  statistics, and the deprecated legacy runner shims,
+* :mod:`repro.experiments.api` -- the single experiment entrypoint:
+  :func:`~repro.experiments.api.run_experiment` over a declarative
+  :class:`~repro.experiments.api.ExperimentSpec`, returning a typed
+  :class:`~repro.experiments.api.RunRecord`,
 * :mod:`repro.experiments.scenarios` -- the declarative scenario registry
   (named workload x fabric configurations, with defaults and validation),
 * :mod:`repro.experiments.sweep` -- the parallel sweep engine that crosses
@@ -14,6 +18,12 @@ thin queries over sweep results.  :mod:`repro.experiments.comparison` runs
 one scenario under static / ECMP / adaptive control on identical flows.
 """
 
+from repro.experiments.api import (
+    ExperimentSpec,
+    FabricSpec,
+    RunRecord,
+    run_experiment,
+)
 from repro.experiments.comparison import COMPARISON_LABELS, adaptive_vs_static
 from repro.experiments.harness import (
     ExperimentResult,
@@ -33,6 +43,7 @@ from repro.experiments.figures import (
 from repro.experiments.scenarios import (
     Scenario,
     ScenarioError,
+    controller_config_from_params,
     get_scenario,
     list_scenarios,
     register_scenario,
@@ -52,6 +63,10 @@ from repro.experiments.sweep import (
 )
 
 __all__ = [
+    "ExperimentSpec",
+    "FabricSpec",
+    "RunRecord",
+    "run_experiment",
     "COMPARISON_LABELS",
     "adaptive_vs_static",
     "ExperimentResult",
@@ -67,6 +82,7 @@ __all__ = [
     "mapreduce_comparison_rows",
     "Scenario",
     "ScenarioError",
+    "controller_config_from_params",
     "get_scenario",
     "list_scenarios",
     "register_scenario",

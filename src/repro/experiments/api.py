@@ -1,0 +1,301 @@
+"""The one way to run an experiment: ``run_experiment(ExperimentSpec)``.
+
+Every layer of the repo -- the scenario registry, the parallel sweep
+engine, the static/ECMP/adaptive comparison, the baselines package, the
+CLI, the benchmarks and the examples -- funnels through this module.  An
+:class:`ExperimentSpec` declares *what* to run (fabric, flows, controller
+name + configuration, failure plan, stop time); :func:`run_experiment`
+walks the fixed controller lifecycle
+(:meth:`~repro.core.controllers.Controller.prepare` ->
+route flows -> :meth:`~repro.core.controllers.Controller.attach` ->
+:meth:`~repro.core.controllers.Controller.run`) and returns a typed,
+JSON-serialisable :class:`RunRecord`.
+
+Keeping one path is what makes cross-scheme comparisons fair (identical
+harness, identical failure injection, identical metric computation) and is
+what lets a new controller registered with
+:func:`~repro.core.controllers.register_controller` reach every surface --
+scenarios, sweeps, the CLI -- without a bespoke runner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.core.controllers import (
+    Controller,
+    ControllerSummary,
+    create_controller,
+)
+from repro.experiments.harness import build_fabric
+from repro.fabric.fabric import Fabric, FabricConfig
+from repro.fabric.failures import FailureEvent, FailureInjector
+from repro.sim.flow import Flow, FlowSet
+from repro.sim.fluid import FluidFlowSimulator, FluidResult
+from repro.sim.units import GBPS
+from repro.telemetry.collector import TelemetryCollector
+from repro.telemetry.metrics import straggler_ratio
+
+#: JSON-safe scalar types allowed verbatim in provenance dictionaries.
+_JSON_SCALARS = (bool, int, float, str, type(None))
+
+
+def _jsonable(value: object) -> object:
+    """A JSON-serialisable stand-in for *value* (repr for rich objects)."""
+    if isinstance(value, _JSON_SCALARS):
+        return value
+    if isinstance(value, Mapping):
+        return {str(key): _jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    return repr(value)
+
+
+@dataclass(frozen=True)
+class FabricSpec:
+    """Declarative fabric description, buildable anywhere (e.g. in a sweep
+    worker process) and serialisable into a run's provenance."""
+
+    topology: str = "grid"
+    rows: int = 3
+    columns: int = 3
+    lanes_per_link: int = 2
+    lane_rate_bps: float = 25 * GBPS
+    config: Optional[FabricConfig] = None
+
+    def build(self) -> Fabric:
+        """Materialise the fabric this spec describes."""
+        return build_fabric(
+            self.topology,
+            self.rows,
+            self.columns,
+            lanes_per_link=self.lanes_per_link,
+            lane_rate_bps=self.lane_rate_bps,
+            config=self.config,
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable provenance form."""
+        return {
+            "topology": self.topology,
+            "rows": self.rows,
+            "columns": self.columns,
+            "lanes_per_link": self.lanes_per_link,
+            "lane_rate_bps": self.lane_rate_bps,
+            "config": _jsonable(self.config) if self.config is not None else None,
+        }
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """Everything :func:`run_experiment` needs, as data.
+
+    Attributes
+    ----------
+    fabric:
+        The fabric under test: a declarative :class:`FabricSpec` (built
+        fresh per run) or a pre-built :class:`~repro.fabric.fabric.Fabric`
+        (when the caller wants to inspect it afterwards).
+    flows:
+        The workload.  Flows are routed on the fabric's router at
+        admission time, *after* the controller's ``prepare`` step.
+    controller:
+        Registered controller name (see
+        :func:`~repro.core.controllers.controller_names`).
+    controller_config:
+        Keyword arguments for the controller's factory.
+    failures:
+        Failure plan injected into the run by a
+        :class:`~repro.fabric.failures.FailureInjector`, identically for
+        every controller.
+    failure_period:
+        Failure-injector sampling period (seconds).
+    until:
+        Optional absolute stop time (flows may be left unfinished).
+    flow_rate_limit_bps:
+        Per-flow rate cap; default is the slowest endpoint NIC rate.
+    label:
+        Free-form tag carried into the record (report tables key on it).
+    """
+
+    fabric: Union[Fabric, FabricSpec]
+    flows: Sequence[Flow]
+    label: str = "run"
+    controller: str = "none"
+    controller_config: Mapping[str, object] = field(default_factory=dict)
+    failures: Sequence[FailureEvent] = ()
+    failure_period: float = 1e-4
+    until: Optional[float] = None
+    flow_rate_limit_bps: Optional[float] = None
+
+    def provenance(self) -> Dict[str, object]:
+        """JSON-serialisable description of this spec (sans flow payload)."""
+        if isinstance(self.fabric, FabricSpec):
+            fabric_info: object = self.fabric.to_dict()
+        else:
+            fabric_info = repr(self.fabric)
+        return {
+            "label": self.label,
+            "controller": self.controller,
+            "controller_config": _jsonable(dict(self.controller_config)),
+            "fabric": fabric_info,
+            "num_flows": len(self.flows),
+            "num_failure_events": len(self.failures),
+            "failure_period": self.failure_period,
+            "until": self.until,
+            "flow_rate_limit_bps": self.flow_rate_limit_bps,
+        }
+
+
+@dataclass
+class RunRecord:
+    """Typed result of one :func:`run_experiment` call.
+
+    The serialisable triple (``metrics``, ``controller_summary``,
+    ``provenance``) shares its schema with sweep rows; the remaining
+    fields are in-process handles for callers that want to dig deeper
+    (the fluid result, the flow set, the fabric in its final state, the
+    controller instance and its per-tick telemetry).
+    """
+
+    label: str
+    controller: str
+    metrics: Dict[str, object]
+    controller_summary: ControllerSummary
+    provenance: Dict[str, object]
+    fluid: FluidResult = field(repr=False)
+    flows: FlowSet = field(repr=False)
+    fabric: Fabric = field(repr=False)
+    controller_instance: Optional[Controller] = field(default=None, repr=False)
+    telemetry: Optional[TelemetryCollector] = field(default=None, repr=False)
+
+    @property
+    def makespan(self) -> Optional[float]:
+        """Time to complete the whole workload."""
+        return self.metrics.get("makespan")  # type: ignore[return-value]
+
+    @property
+    def mean_fct(self) -> Optional[float]:
+        """Mean flow completion time."""
+        return self.metrics.get("mean_fct")  # type: ignore[return-value]
+
+    @property
+    def p99_fct(self) -> Optional[float]:
+        """99th-percentile flow completion time."""
+        return self.metrics.get("p99_fct")  # type: ignore[return-value]
+
+    @property
+    def straggler(self) -> Optional[float]:
+        """Straggler ratio (max FCT / median FCT)."""
+        return self.metrics.get("straggler_ratio")  # type: ignore[return-value]
+
+    @property
+    def completion_fraction(self) -> float:
+        """Fraction of offered flows that completed."""
+        return float(self.metrics.get("completion_fraction", 0.0))
+
+    @property
+    def power_watts(self) -> float:
+        """Fabric power in its final state."""
+        return float(self.metrics.get("power_watts", 0.0))
+
+    def to_dict(self) -> Dict[str, object]:
+        """The record's JSON-serialisable part (one schema with sweep rows)."""
+        return {
+            "label": self.label,
+            "controller": self.controller,
+            "metrics": dict(self.metrics),
+            "controller_summary": self.controller_summary.to_dict(),
+            "provenance": dict(self.provenance),
+        }
+
+
+# --------------------------------------------------------------------------- #
+# Fluid-simulation assembly (shared by every controller)
+# --------------------------------------------------------------------------- #
+def _default_flow_rate_limit(fabric: Fabric) -> Optional[float]:
+    """Slowest endpoint NIC rate, the per-flow cap the fluid model applies."""
+    endpoints = fabric.topology.endpoints()
+    if not endpoints:
+        return None
+    return min(fabric.topology.node(name).nic_rate_bps for name in endpoints)
+
+
+def _build_fluid(
+    fabric: Fabric,
+    flows: Sequence[Flow],
+    flow_rate_limit_bps: Optional[float],
+    failure_events: Optional[Sequence[FailureEvent]],
+    failure_period: float,
+) -> Tuple[FluidFlowSimulator, Optional[FailureInjector]]:
+    """Fluid simulator preloaded with the fabric's links, flows and failures."""
+    if flow_rate_limit_bps is None:
+        flow_rate_limit_bps = _default_flow_rate_limit(fabric)
+    simulator = FluidFlowSimulator(flow_rate_limit_bps=flow_rate_limit_bps)
+    for key, capacity in fabric.directed_capacities().items():
+        simulator.add_link(key, capacity)
+    for flow in flows:
+        keys = fabric.route_keys(flow.src, flow.dst, flow_id=flow.flow_id)
+        simulator.add_flow(flow, keys)
+    injector: Optional[FailureInjector] = None
+    if failure_events:
+        injector = FailureInjector(fabric, failure_events)
+        injector.attach(simulator, period=failure_period)
+    return simulator, injector
+
+
+# --------------------------------------------------------------------------- #
+# The entrypoint
+# --------------------------------------------------------------------------- #
+def run_experiment(spec: ExperimentSpec) -> RunRecord:
+    """Run *spec* through the controller lifecycle and record the outcome.
+
+    The steps, in order (the order is part of the determinism contract the
+    parity tests pin):
+
+    1. build the fabric (when *spec.fabric* is declarative),
+    2. instantiate the named controller and let it ``prepare`` the fabric,
+    3. load links, flows (routed on the fabric's router) and the failure
+       plan into a fresh fluid simulator,
+    4. ``attach`` the controller and let it ``run`` the simulation,
+    5. summarise flows, power and the controller into a :class:`RunRecord`.
+    """
+    fabric = spec.fabric.build() if isinstance(spec.fabric, FabricSpec) else spec.fabric
+    controller = create_controller(spec.controller, spec.controller_config)
+    controller.prepare(fabric)
+    simulator, _ = _build_fluid(
+        fabric,
+        spec.flows,
+        spec.flow_rate_limit_bps,
+        spec.failures or None,
+        spec.failure_period,
+    )
+    controller.attach(simulator)
+    fluid_result = controller.run(until=spec.until)
+    flow_set = FlowSet(spec.flows)
+    summary = controller.summary()
+    metrics: Dict[str, object] = {
+        "num_flows": len(spec.flows),
+        "total_bits": flow_set.total_bits(),
+        "completion_fraction": flow_set.completion_fraction(),
+        "makespan": flow_set.makespan(),
+        "mean_fct": flow_set.mean_fct(),
+        "p99_fct": flow_set.fct_percentile(99.0),
+        "straggler_ratio": straggler_ratio(flow_set),
+        "power_watts": fabric.power_report().total_watts,
+        "reconfigurations": summary.reconfigurations,
+        "flows_rerouted": summary.flows_rerouted,
+    }
+    return RunRecord(
+        label=spec.label,
+        controller=spec.controller,
+        metrics=metrics,
+        controller_summary=summary,
+        provenance=spec.provenance(),
+        fluid=fluid_result,
+        flows=flow_set,
+        fabric=fabric,
+        controller_instance=controller,
+        telemetry=controller.telemetry,
+    )

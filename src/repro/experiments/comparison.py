@@ -2,15 +2,17 @@
 
 The paper's claim is comparative: an adaptive fabric must beat the same
 hardware left alone.  This module runs a registered scenario three ways on
-*identical* flows (same derived seed, same flow ids, same failure plan):
+*identical* flows (same derived seed, same flow ids, same failure plan),
+all through the single experiment entrypoint
+(:func:`repro.experiments.api.run_experiment`) with a different registered
+controller per run:
 
-* ``static``  -- :func:`repro.baselines.static_fabric.run_static_baseline`:
-  fixed shortest-path routing, no control;
-* ``ecmp``    -- :func:`repro.baselines.ecmp.run_ecmp_baseline`: per-flow
-  equal-cost multi-path hashing, the "software-only" answer to congestion;
-* ``adaptive``-- :func:`repro.experiments.harness.run_control_loop_experiment`:
-  the closed control loop with price-based rerouting and the grid-to-torus
-  candidate.
+* ``static``  -- the ``"static"`` controller: fixed shortest-path routing,
+  no control;
+* ``ecmp``    -- the ``"ecmp"`` controller: per-flow equal-cost multi-path
+  hashing, the "software-only" answer to congestion;
+* ``adaptive``-- the ``"loop"`` controller: the closed control loop with
+  price-based rerouting and the grid-to-torus candidate.
 
 ``repro-fabric compare <scenario>`` prints the resulting table; the bundled
 benchmark (``benchmarks/bench_adaptive_vs_static.py``) asserts the adaptive
@@ -21,12 +23,12 @@ from __future__ import annotations
 
 from typing import Dict, List, Mapping, Optional
 
-from repro.experiments.harness import ExperimentResult, run_control_loop_experiment
+from repro.experiments.api import ExperimentSpec, RunRecord, run_experiment
 from repro.experiments.scenarios import (
     Scenario,
+    controller_config_from_params,
     derive_run_seed,
     get_scenario,
-    loop_config_from_params,
     materialize_run,
     resolve_params,
 )
@@ -34,17 +36,20 @@ from repro.experiments.scenarios import (
 #: The comparison's run labels, in report order.
 COMPARISON_LABELS = ("static", "ecmp", "adaptive")
 
+#: Registered controller behind each comparison label.
+CONTROLLER_BY_LABEL = {"static": "static", "ecmp": "ecmp", "adaptive": "loop"}
 
-def _result_row(label: str, result: ExperimentResult, reconfigurations: int) -> Dict[str, object]:
+
+def _result_row(label: str, record: RunRecord) -> Dict[str, object]:
     return {
         "label": label,
-        "mean_fct": result.mean_fct,
-        "p99_fct": result.p99_fct,
-        "makespan": result.makespan,
-        "straggler_ratio": result.straggler,
-        "completion_fraction": result.flows.completion_fraction(),
-        "power_watts": result.power_watts,
-        "reconfigurations": reconfigurations,
+        "mean_fct": record.mean_fct,
+        "p99_fct": record.p99_fct,
+        "makespan": record.makespan,
+        "straggler_ratio": record.straggler,
+        "completion_fraction": record.metrics["completion_fraction"],
+        "power_watts": record.power_watts,
+        "reconfigurations": record.metrics["reconfigurations"],
     }
 
 
@@ -72,41 +77,26 @@ def adaptive_vs_static(
     workloads (and identical failure plans, when the scenario declares
     one).
     """
-    # Imported here: the baselines import the experiments harness, so a
-    # module-level import would be circular through the package __init__.
-    from repro.baselines.ecmp import run_ecmp_baseline
-    from repro.baselines.static_fabric import run_static_baseline
-
     if isinstance(scenario, str):
         scenario = get_scenario(scenario)
     merged = dict(overrides or {})
     merged["controller"] = "none"  # resolve/validate once, without a controller
     params = resolve_params(scenario, merged)
     seed = derive_run_seed(base_seed, scenario.name, params)
-    grid = params["topology"] == "grid"
 
     rows: List[Dict[str, object]] = []
     for label in COMPARISON_LABELS:
         fabric, flows, failure_events = materialize_run(scenario, params, seed)
-        reconfigurations = 0
-        if label == "static":
-            result = run_static_baseline(
-                fabric, flows, label=label, failure_events=failure_events
-            )
-        elif label == "ecmp":
-            result = run_ecmp_baseline(
-                fabric.topology, flows, label=label, failure_events=failure_events
-            )
-        else:
-            result, loop = run_control_loop_experiment(
-                fabric,
-                flows,
+        controller = CONTROLLER_BY_LABEL[label]
+        record = run_experiment(
+            ExperimentSpec(
+                fabric=fabric,
+                flows=flows,
                 label=label,
-                loop_config=loop_config_from_params(params),
-                grid_rows=int(params["rows"]) if grid else None,
-                grid_columns=int(params["columns"]) if grid else None,
-                failure_events=failure_events,
+                controller=controller,
+                controller_config=controller_config_from_params(controller, params),
+                failures=tuple(failure_events or ()),
             )
-            reconfigurations = len(loop.reconfiguration_times)
-        rows.append(_result_row(label, result, reconfigurations))
+        )
+        rows.append(_result_row(label, record))
     return rows

@@ -45,9 +45,9 @@ def figure1_rows(
 #: Exported so the benchmark that reproduces the figure swept over larger
 #: racks uses the exact same configurations.
 FIGURE2_CONFIGURATIONS = (
-    ("grid-static", {"topology": "grid", "lanes_per_link": 2, "crc": False}),
-    ("adaptive-crc", {"topology": "grid", "lanes_per_link": 2, "crc": True}),
-    ("torus-static", {"topology": "torus", "lanes_per_link": 1, "crc": False}),
+    ("grid-static", {"topology": "grid", "lanes_per_link": 2, "controller": "none"}),
+    ("adaptive-crc", {"topology": "grid", "lanes_per_link": 2, "controller": "crc"}),
+    ("torus-static", {"topology": "torus", "lanes_per_link": 1, "controller": "none"}),
 )
 
 #: Columns the fabric-comparison figures project out of a sweep row.
@@ -156,8 +156,8 @@ def mapreduce_comparison_rows(
         "control_period_us": 100.0,
     }
     configurations = [
-        ("grid-static", {"crc": False}),
-        ("adaptive-crc", {"crc": True}),
+        ("grid-static", {"controller": "none"}),
+        ("adaptive-crc", {"controller": "crc"}),
     ]
     return _comparison_rows(
         "mapreduce-skewed",

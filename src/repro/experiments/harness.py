@@ -1,37 +1,104 @@
-"""End-to-end experiment harness.
+"""Fabric builders, fabric-state statistics and the legacy runner shims.
 
-Every benchmark and example follows the same shape: build a fabric, generate
-a workload, run it through the fluid simulator (optionally with a Closed
-Ring Control attached), and summarise the flow completion metrics.  The
-harness keeps that shape in one place so the benchmarks stay declarative.
+The experiment entrypoint itself lives in :mod:`repro.experiments.api`
+(:func:`~repro.experiments.api.run_experiment` over an
+:class:`~repro.experiments.api.ExperimentSpec`).  This module keeps:
+
+* the fabric construction helpers the specs and scenarios build on,
+* :func:`fabric_state_row`, the closed-form hop/latency/power statistics
+  column set shared by every sweep row,
+* :class:`ExperimentResult`, the legacy result container, and
+* deprecation shims for the five historical entrypoints
+  (``run_fluid_experiment``, ``run_adaptive_experiment``,
+  ``run_control_loop_experiment`` here; the two baselines in
+  :mod:`repro.baselines`).  Each shim delegates to ``run_experiment`` --
+  the parity tests assert bit-identical metrics -- and will be removed
+  one release after 1.x; see ``docs/api.md`` for the migration table.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import warnings
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.core.control import ControlLoop, ControlLoopConfig, GridToTorusCandidate, PlanCandidate
+from repro.core.control import ControlLoop, ControlLoopConfig, PlanCandidate
 from repro.core.crc import ClosedRingControl, CRCConfig
 from repro.fabric.fabric import Fabric, FabricConfig
-from repro.fabric.failures import FailureEvent, FailureInjector
-from repro.fabric.topology import Topology, TopologyBuilder
+from repro.fabric.failures import FailureEvent
+from repro.fabric.topology import TopologyBuilder
 from repro.sim.flow import Flow, FlowSet
-from repro.sim.fluid import FluidFlowSimulator, FluidResult
+from repro.sim.fluid import FluidResult
 from repro.sim.units import GBPS
 from repro.telemetry.collector import TelemetryCollector
 from repro.telemetry.metrics import straggler_ratio
 
 
-@dataclass
-class ExperimentResult:
-    """Everything a benchmark needs to report one experiment run."""
+def _warn_legacy(old: str, replacement: str) -> None:
+    warnings.warn(
+        f"{old} is deprecated and will be removed in the next release; "
+        f"use {replacement} (see docs/api.md for the migration table)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
-    label: str
-    fluid: FluidResult
-    flows: FlowSet
-    crc_summary: Dict[str, float] = field(default_factory=dict)
-    power_watts: float = 0.0
+
+class ExperimentResult:
+    """Legacy result container returned by the deprecated entrypoints.
+
+    New code receives a :class:`~repro.experiments.api.RunRecord` from
+    :func:`~repro.experiments.api.run_experiment` instead.  The
+    ``crc_summary`` field was renamed ``controller_summary``; the old
+    spelling keeps working (constructor keyword, read and write) for one
+    release, with a :class:`DeprecationWarning`.
+    """
+
+    def __init__(
+        self,
+        label: str,
+        fluid: FluidResult,
+        flows: FlowSet,
+        controller_summary: Optional[Dict[str, float]] = None,
+        power_watts: float = 0.0,
+        crc_summary: Optional[Dict[str, float]] = None,
+    ) -> None:
+        if crc_summary is not None:
+            self._warn_crc_summary()
+            if controller_summary is None:
+                controller_summary = crc_summary
+        self.label = label
+        self.fluid = fluid
+        self.flows = flows
+        self.controller_summary: Dict[str, float] = (
+            controller_summary if controller_summary is not None else {}
+        )
+        self.power_watts = power_watts
+
+    @staticmethod
+    def _warn_crc_summary() -> None:
+        warnings.warn(
+            "ExperimentResult.crc_summary is deprecated; use "
+            "ExperimentResult.controller_summary",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+
+    @property
+    def crc_summary(self) -> Dict[str, float]:
+        """Deprecated alias of :attr:`controller_summary` (one release)."""
+        self._warn_crc_summary()
+        return self.controller_summary
+
+    @crc_summary.setter
+    def crc_summary(self, value: Dict[str, float]) -> None:
+        self._warn_crc_summary()
+        self.controller_summary = value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ExperimentResult(label={self.label!r}, "
+            f"controller_summary={self.controller_summary!r}, "
+            f"power_watts={self.power_watts!r})"
+        )
 
     @property
     def makespan(self) -> Optional[float]:
@@ -104,8 +171,9 @@ def build_fabric(
 ) -> Fabric:
     """Build a fabric by topology name (``"grid"`` or ``"torus"``).
 
-    The scenario registry stores the topology as data, so it needs a single
-    dispatch point rather than a function per shape.
+    The scenario registry and :class:`~repro.experiments.api.FabricSpec`
+    store the topology as data, so they need a single dispatch point
+    rather than a function per shape.
     """
     if topology == "grid":
         return build_grid_fabric(
@@ -126,19 +194,75 @@ def fabric_state_row(fabric: Fabric, packet_size_bytes: float = 1500.0) -> Dict[
     The latency columns are closed-form per-packet latencies on an idle
     fabric (the quantity the paper's Figure 1/2 narrative is about: how many
     cut-through switching elements sit on the critical path).
+
+    All-pairs statistics come from one breadth-first search per endpoint
+    (hops and latency accumulate along the BFS tree), not from per-pair
+    router queries -- ``O(endpoints * links)`` instead of the ``O(n^2)``
+    shortest-path calls this used to make.  The router and its cache are
+    untouched, which ``benchmarks/bench_fabric_state.py`` guards.
+
+    The statistics are deliberately *topological*: paths are hop-minimal
+    over the fabric's current link set, independent of whatever weight
+    function a controller left installed on the router.  (The pre-1.x
+    implementation read the router, so a run under the price-tagging
+    control loop reported hop/latency columns along the loop's final
+    *price-weighted* routes -- an idle-fabric metric contaminated by the
+    finished run's congestion state.  Rows produced by ``controller="loop"``
+    sweeps differ from that older output accordingly.)
     """
     from repro.sim.units import bits_from_bytes
 
     topology = fabric.topology
     endpoints = topology.endpoints()
     packet_bits = bits_from_bytes(packet_size_bytes)
+
+    # Per-link latency increment (propagation + PHY) and first-hop
+    # serialization, plus per-node forwarding latency, precomputed once.
+    adjacency: Dict[str, List[Tuple[str, float, float]]] = {
+        name: [] for name in topology.node_names()
+    }
+    for link in topology.links():
+        increment = link.propagation_delay + link.phy_latency
+        serialization = link.serialization_delay(packet_bits)
+        adjacency[link.a].append((link.b, increment, serialization))
+        adjacency[link.b].append((link.a, increment, serialization))
+    forwarding = {
+        name: fabric.switch(name).forwarding_latency(packet_bits)
+        for name in topology.node_names()
+    }
+
     latencies: List[float] = []
     hop_counts: List[int] = []
-    for i, src in enumerate(endpoints):
-        for dst in endpoints[i + 1 :]:
-            path = fabric.router.path(src, dst)
-            hop_counts.append(len(path) - 1)
-            latencies.append(fabric.path_latency(path, packet_bits)["total"])
+    for index, src in enumerate(endpoints):
+        # BFS from src; hops/latency accumulate along the tree.  The
+        # breakdown mirrors Fabric.path_latency: serialization on the first
+        # link only (cut-through), propagation + PHY per link, forwarding
+        # at every intermediate node (src and dst do not forward).
+        hops: Dict[str, int] = {src: 0}
+        latency: Dict[str, float] = {src: 0.0}
+        frontier = [src]
+        while frontier:
+            next_frontier: List[str] = []
+            for node in frontier:
+                node_hops = hops[node]
+                node_latency = latency[node] + (forwarding[node] if node != src else 0.0)
+                for neighbour, increment, serialization in adjacency[node]:
+                    if neighbour in hops:
+                        continue
+                    hops[neighbour] = node_hops + 1
+                    latency[neighbour] = node_latency + increment + (
+                        serialization if node == src else 0.0
+                    )
+                    next_frontier.append(neighbour)
+            frontier = next_frontier
+        for dst in endpoints[index + 1:]:
+            if dst not in hops:
+                raise ValueError(
+                    f"fabric is disconnected: no path from {src!r} to {dst!r}"
+                )
+            hop_counts.append(hops[dst])
+            latencies.append(latency[dst])
+
     report = fabric.power_report()
     return {
         "links": float(len(topology.links())),
@@ -152,37 +276,17 @@ def fabric_state_row(fabric: Fabric, packet_size_bytes: float = 1500.0) -> Dict[
 
 
 # --------------------------------------------------------------------------- #
-# Running experiments
+# Deprecated entrypoints (thin shims over run_experiment)
 # --------------------------------------------------------------------------- #
-def _default_flow_rate_limit(fabric: Fabric) -> Optional[float]:
-    """Slowest endpoint NIC rate, the per-flow cap the fluid model applies."""
-    endpoints = fabric.topology.endpoints()
-    if not endpoints:
-        return None
-    return min(fabric.topology.node(name).nic_rate_bps for name in endpoints)
-
-
-def _build_fluid(
-    fabric: Fabric,
-    flows: Sequence[Flow],
-    flow_rate_limit_bps: Optional[float],
-    failure_events: Optional[Sequence[FailureEvent]],
-    failure_period: float,
-) -> Tuple[FluidFlowSimulator, Optional[FailureInjector]]:
-    """Fluid simulator preloaded with the fabric's links, flows and failures."""
-    if flow_rate_limit_bps is None:
-        flow_rate_limit_bps = _default_flow_rate_limit(fabric)
-    simulator = FluidFlowSimulator(flow_rate_limit_bps=flow_rate_limit_bps)
-    for key, capacity in fabric.directed_capacities().items():
-        simulator.add_link(key, capacity)
-    for flow in flows:
-        keys = fabric.route_keys(flow.src, flow.dst, flow_id=flow.flow_id)
-        simulator.add_flow(flow, keys)
-    injector: Optional[FailureInjector] = None
-    if failure_events:
-        injector = FailureInjector(fabric, failure_events)
-        injector.attach(simulator, period=failure_period)
-    return simulator, injector
+def _legacy_result(record) -> ExperimentResult:
+    """An :class:`ExperimentResult` view over a RunRecord (for the shims)."""
+    return ExperimentResult(
+        label=record.label,
+        fluid=record.fluid,
+        flows=record.flows,
+        controller_summary=dict(record.controller_summary.data),
+        power_watts=record.power_watts,
+    )
 
 
 def run_fluid_experiment(
@@ -196,30 +300,34 @@ def run_fluid_experiment(
     failure_events: Optional[Sequence[FailureEvent]] = None,
     failure_period: float = 1e-4,
 ) -> ExperimentResult:
-    """Run *flows* over *fabric*, optionally under CRC control.
-
-    Flows are routed on the fabric's current router at admission time; when
-    a CRC is attached, it may change capacities and re-route active flows on
-    every control tick.  *failure_events* (if given) are injected into the
-    running simulation by a :class:`~repro.fabric.failures.FailureInjector`
-    sampling every *failure_period* seconds, so baselines feel the same
-    failures an adaptive run does.
+    """Deprecated: build an :class:`~repro.experiments.api.ExperimentSpec`
+    (controller ``"none"``, or ``"crc"`` with an ``instance``) and call
+    :func:`~repro.experiments.api.run_experiment` instead.
     """
-    simulator, _ = _build_fluid(
-        fabric, flows, flow_rate_limit_bps, failure_events, failure_period
-    )
+    _warn_legacy("run_fluid_experiment", "run_experiment(ExperimentSpec(...))")
+    from repro.experiments.api import ExperimentSpec, run_experiment
+
     if crc is not None:
-        crc.attach(simulator, period=control_period)
-    fluid_result = simulator.run(until=until)
-    flow_set = FlowSet(flows)
-    power = fabric.power_report().total_watts
-    return ExperimentResult(
-        label=label,
-        fluid=fluid_result,
-        flows=flow_set,
-        crc_summary=crc.summary() if crc is not None else {},
-        power_watts=power,
+        controller = "crc"
+        controller_config: Dict[str, object] = {
+            "instance": crc, "control_period": control_period,
+        }
+    else:
+        controller, controller_config = "none", {}
+    record = run_experiment(
+        ExperimentSpec(
+            fabric=fabric,
+            flows=flows,
+            label=label,
+            controller=controller,
+            controller_config=controller_config,
+            failures=tuple(failure_events or ()),
+            failure_period=failure_period,
+            until=until,
+            flow_rate_limit_bps=flow_rate_limit_bps,
+        )
     )
+    return _legacy_result(record)
 
 
 def run_adaptive_experiment(
@@ -231,12 +339,15 @@ def run_adaptive_experiment(
     label: str = "adaptive",
     fabric_config: Optional[FabricConfig] = None,
 ) -> Tuple[ExperimentResult, ClosedRingControl]:
-    """Run the canonical adaptive scenario: grid fabric + CRC with the
-    grid-to-torus latency policy enabled.
-
-    Returns both the experiment result and the controller so callers can
-    inspect how many reconfigurations happened and when.
+    """Deprecated: use :func:`~repro.experiments.api.run_experiment` with
+    ``controller="crc"`` over a grid :class:`~repro.experiments.api.FabricSpec`.
     """
+    _warn_legacy(
+        "run_adaptive_experiment",
+        "run_experiment(ExperimentSpec(..., controller='crc'))",
+    )
+    from repro.experiments.api import ExperimentSpec, run_experiment
+
     fabric = build_grid_fabric(
         rows, columns, lanes_per_link=lanes_per_link, config=fabric_config
     )
@@ -247,14 +358,18 @@ def run_adaptive_experiment(
             grid_columns=columns,
         )
     crc = ClosedRingControl(fabric, crc_config)
-    result = run_fluid_experiment(
-        fabric,
-        flows,
-        label=label,
-        crc=crc,
-        control_period=crc_config.control_period,
+    record = run_experiment(
+        ExperimentSpec(
+            fabric=fabric,
+            flows=flows,
+            label=label,
+            controller="crc",
+            controller_config={
+                "instance": crc, "control_period": crc_config.control_period,
+            },
+        )
     )
-    return result, crc
+    return _legacy_result(record), crc
 
 
 def run_control_loop_experiment(
@@ -271,59 +386,35 @@ def run_control_loop_experiment(
     failure_events: Optional[Sequence[FailureEvent]] = None,
     failure_period: float = 1e-4,
 ) -> Tuple[ExperimentResult, ControlLoop]:
-    """Run *flows* over *fabric* under the closed control loop.
-
-    This is the dynamic-scenario runner: a
-    :class:`~repro.core.control.ControlLoop` is bound to the fluid
-    simulation and drives telemetry, pricing, flow re-scheduling and
-    reconfiguration from its own periodic process on the event engine.
-
-    Parameters
-    ----------
-    fabric:
-        The fabric under control.
-    flows:
-        The workload; initial routes come from the fabric's router.
-    loop_config:
-        Control-loop knobs (defaults otherwise).
-    candidates:
-        Reconfiguration candidates.  When ``None`` and *grid_rows* /
-        *grid_columns* are given, a single capacity-preserving
-        :class:`~repro.core.control.GridToTorusCandidate` is installed.
-    telemetry:
-        Optional shared collector for the loop's time series.
-    failure_events:
-        Failures injected mid-run (the loop must steer around them).
-    failure_period:
-        Failure-injector sampling period.  The default matches
-        :func:`run_fluid_experiment`'s, so a static baseline and an
-        adaptive run of the same scenario feel each failure at the same
-        simulated time regardless of the loop's control interval.
-
-    Returns the experiment result and the loop, so callers can inspect
-    ticks, reconfiguration times and telemetry.
+    """Deprecated: use :func:`~repro.experiments.api.run_experiment` with
+    ``controller="loop"``; the bound :class:`~repro.core.control.ControlLoop`
+    is reachable as ``record.controller_instance.loop``.
     """
-    loop_config = loop_config if loop_config is not None else ControlLoopConfig()
-    if candidates is None:
-        candidates = (
-            [GridToTorusCandidate(grid_rows, grid_columns)]
-            if grid_rows is not None and grid_columns is not None
-            else []
-        )
-    simulator, _ = _build_fluid(
-        fabric, flows, flow_rate_limit_bps, failure_events, failure_period
+    _warn_legacy(
+        "run_control_loop_experiment",
+        "run_experiment(ExperimentSpec(..., controller='loop'))",
     )
-    loop = ControlLoop(fabric, candidates=candidates, config=loop_config, telemetry=telemetry)
-    loop.bind(simulator)
-    fluid_result = loop.run(until=until)
-    flow_set = FlowSet(flows)
-    return (
-        ExperimentResult(
+    from repro.experiments.api import ExperimentSpec, run_experiment
+
+    record = run_experiment(
+        ExperimentSpec(
+            fabric=fabric,
+            flows=flows,
             label=label,
-            fluid=fluid_result,
-            flows=flow_set,
-            crc_summary=loop.summary(),
-            power_watts=fabric.power_report().total_watts,
-        ),
-        loop,
+            controller="loop",
+            controller_config={
+                "config": loop_config,
+                "candidates": candidates,
+                "grid_rows": grid_rows,
+                "grid_columns": grid_columns,
+                "telemetry": telemetry,
+            },
+            failures=tuple(failure_events or ()),
+            failure_period=failure_period,
+            until=until,
+            flow_rate_limit_bps=flow_rate_limit_bps,
+        )
     )
+    assert record.controller_instance is not None
+    loop = record.controller_instance.loop  # type: ignore[attr-defined]
+    return _legacy_result(record), loop

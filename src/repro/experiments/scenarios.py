@@ -20,32 +20,36 @@ consequences:
 * the same scenario/parameter combination produces bit-identical results
   no matter where or in which order it runs (the property the parallel
   sweep engine relies on), and
-* fabric-side parameters (``topology``, ``lanes_per_link``, ``crc``, the
-  control knobs) do **not** perturb the seed, so a grid/torus/adaptive
+* fabric-side parameters (``topology``, ``lanes_per_link``, ``controller``,
+  the control knobs) do **not** perturb the seed, so a grid/torus/adaptive
   comparison over one scenario sees the *same* flows -- like-for-like, as
   the paper's Figure 2 requires.
+
+Every run goes through the single experiment entrypoint
+(:func:`repro.experiments.api.run_experiment`): the scenario's
+``controller`` parameter selects a registered
+:class:`~repro.core.controllers.Controller` by name, so any controller --
+including third-party ones -- is sweepable with no scenario-side changes.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import warnings
 from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, List, Mapping, Optional, Sequence
+from typing import Callable, Dict, List, Mapping, Optional
 
 from repro.core.control import ControlLoopConfig
-from repro.core.crc import ClosedRingControl, CRCConfig
-from repro.experiments.harness import (
-    build_fabric,
-    fabric_state_row,
-    run_control_loop_experiment,
-    run_fluid_experiment,
-)
+from repro.core.controllers import controller_names
+from repro.core.crc import CRCConfig
+from repro.experiments.api import ExperimentSpec, run_experiment
+from repro.experiments.harness import build_fabric, fabric_state_row
 from repro.fabric.failures import FailureEvent, FailureKind
 from repro.fabric.topology import TopologyBuilder
 from repro.sim.flow import Flow, reset_flow_ids
 from repro.sim.units import GBPS, megabytes, microseconds
-from repro.workloads.base import TrafficGenerator, WorkloadSpec
+from repro.workloads.base import WorkloadSpec
 from repro.workloads.hotspot import HotspotWorkload
 from repro.workloads.incast import IncastWorkload
 from repro.workloads.mapreduce import MapReduceShuffleWorkload
@@ -74,8 +78,8 @@ COMMON_DEFAULTS: Dict[str, object] = {
     "rows": 3,
     "columns": 3,
     "lanes_per_link": 2,
-    "crc": False,                # attach a Closed Ring Control (grid only)
-    "controller": "none",        # "none", "crc" or "loop" (the ControlLoop)
+    "crc": False,                # DEPRECATED spelling of controller="crc"
+    "controller": "none",        # any registered controller name
     "utilisation_threshold": 0.5,
     "control_period_us": 500.0,
     "mean_flow_mb": 2.0,
@@ -256,20 +260,27 @@ def resolve_params(
                 params[key] = float(value)
             except (TypeError, ValueError):
                 raise ScenarioError(f"{key} must be a number, got {value!r}") from None
-    if params["controller"] not in ("none", "crc", "loop"):
-        raise ScenarioError(
-            f"controller must be 'none', 'crc' or 'loop', got {params['controller']!r}"
-        )
     if params["crc"]:
-        # Legacy spelling of controller="crc"; keep both in sync.
+        # One-release deprecation shim for the legacy spelling; it folds
+        # into controller="crc" before any controller validation runs.
+        warnings.warn(
+            "scenario parameter crc=True is deprecated; use controller='crc'",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         if params["controller"] not in ("none", "crc"):
             raise ScenarioError("crc=True conflicts with controller="
                                 f"{params['controller']!r}; pick one")
         params["controller"] = "crc"
+    if params["controller"] not in controller_names():
+        raise ScenarioError(
+            f"controller must be one of {sorted(controller_names())}, "
+            f"got {params['controller']!r}"
+        )
     if params["controller"] == "crc" and params["topology"] != "grid":
         raise ScenarioError(
-            "controller='crc' (or crc=True) drives the grid-to-torus "
-            "reconfiguration and requires topology='grid'"
+            "controller='crc' drives the grid-to-torus reconfiguration "
+            "and requires topology='grid'"
         )
     if int(params["rows"]) < 2 or int(params["columns"]) < 2:
         raise ScenarioError("rows and columns must both be >= 2")
@@ -339,6 +350,35 @@ def loop_config_from_params(params: Mapping[str, object]) -> ControlLoopConfig:
     )
 
 
+def controller_config_from_params(
+    controller: str, params: Mapping[str, object]
+) -> Dict[str, object]:
+    """The ``controller_config`` a resolved parameter set asks for.
+
+    Only the built-in adaptive controllers consume scenario parameters;
+    every other registered controller runs on its factory defaults (a
+    third-party controller that wants scenario knobs can resolve them in
+    its own factory).
+    """
+    if controller == "crc":
+        return {
+            "config": CRCConfig(
+                enable_topology_reconfiguration=True,
+                grid_rows=int(params["rows"]),
+                grid_columns=int(params["columns"]),
+                utilisation_threshold=float(params["utilisation_threshold"]),
+                control_period=microseconds(float(params["control_period_us"])),
+            )
+        }
+    if controller == "loop":
+        config: Dict[str, object] = {"config": loop_config_from_params(params)}
+        if params["topology"] == "grid":
+            config["grid_rows"] = int(params["rows"])
+            config["grid_columns"] = int(params["columns"])
+        return config
+    return {}
+
+
 def run_scenario(
     scenario: "Scenario | str",
     overrides: Optional[Mapping[str, object]] = None,
@@ -357,59 +397,18 @@ def run_scenario(
     fabric, flows, failure_events = materialize_run(scenario, params, seed)
 
     controller = str(params["controller"])
-    control_period = microseconds(float(params["control_period_us"]))
-    reconfigurations = 0
-    flows_rerouted = 0
-    if controller == "loop":
-        loop_config = loop_config_from_params(params)
-        grid = params["topology"] == "grid"
-        result, loop = run_control_loop_experiment(
-            fabric,
-            flows,
+    record = run_experiment(
+        ExperimentSpec(
+            fabric=fabric,
+            flows=flows,
             label=scenario.name,
-            loop_config=loop_config,
-            grid_rows=int(params["rows"]) if grid else None,
-            grid_columns=int(params["columns"]) if grid else None,
-            failure_events=failure_events,
+            controller=controller,
+            controller_config=controller_config_from_params(controller, params),
+            failures=tuple(failure_events or ()),
         )
-        reconfigurations = len(loop.reconfiguration_times)
-        flows_rerouted = loop.flows_rerouted_total
-    else:
-        crc: Optional[ClosedRingControl] = None
-        if controller == "crc":
-            crc = ClosedRingControl(
-                fabric,
-                CRCConfig(
-                    enable_topology_reconfiguration=True,
-                    grid_rows=int(params["rows"]),
-                    grid_columns=int(params["columns"]),
-                    utilisation_threshold=float(params["utilisation_threshold"]),
-                    control_period=control_period,
-                ),
-            )
-        result = run_fluid_experiment(
-            fabric,
-            flows,
-            label=scenario.name,
-            crc=crc,
-            control_period=control_period if crc is not None else None,
-            failure_events=failure_events,
-        )
-        if crc is not None:
-            reconfigurations = len(crc.reconfiguration_times)
+    )
 
-    metrics: Dict[str, object] = {
-        "num_flows": len(flows),
-        "total_bits": result.flows.total_bits(),
-        "completion_fraction": result.flows.completion_fraction(),
-        "makespan": result.makespan,
-        "mean_fct": result.mean_fct,
-        "p99_fct": result.p99_fct,
-        "straggler_ratio": result.straggler,
-        "power_watts": result.power_watts,
-        "reconfigurations": reconfigurations,
-        "flows_rerouted": flows_rerouted,
-    }
+    metrics: Dict[str, object] = dict(record.metrics)
     metrics.update(fabric_state_row(fabric))
     return {
         "scenario": scenario.name,

@@ -21,8 +21,8 @@ drops its capacity to zero (routing and the CRC must steer around it).
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
 
 from repro.fabric.fabric import Fabric
 from repro.fabric.topology import canonical_key

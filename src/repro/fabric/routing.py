@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import enum
 import itertools
-from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import networkx as nx
 

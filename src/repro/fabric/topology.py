@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import itertools
 import math
-from typing import Callable, Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 import networkx as nx
 

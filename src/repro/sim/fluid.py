@@ -18,10 +18,10 @@ utilisation, and mutates capacities/routes to model PLP commands.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
 
-from repro.sim.flow import Flow, FlowSet, FlowState
+from repro.sim.flow import Flow, FlowSet
 from repro.sim.trace import NullTrace, TraceRecorder
 
 LinkKey = Hashable

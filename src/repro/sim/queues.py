@@ -9,7 +9,7 @@ the telemetry layer counts as a congestion indication feeding the CRC.
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from repro.sim.packet import Packet

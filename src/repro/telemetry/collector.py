@@ -12,7 +12,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.sim.flow import FlowSet
-from repro.telemetry.metrics import describe, straggler_ratio, throughput_bps
+from repro.telemetry.metrics import straggler_ratio, throughput_bps
 
 
 @dataclass

@@ -12,7 +12,6 @@ from typing import List, Optional, Sequence, Tuple
 
 from repro.sim.flow import Flow
 from repro.workloads.base import TrafficGenerator, WorkloadSpec
-from repro.workloads.uniform import UniformRandomWorkload
 
 
 class HotspotWorkload(TrafficGenerator):

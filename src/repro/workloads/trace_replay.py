@@ -11,7 +11,7 @@ from __future__ import annotations
 import csv
 import io
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence
+from typing import List, Sequence
 
 from repro.sim.flow import Flow
 from repro.workloads.base import TrafficGenerator, WorkloadSpec

@@ -3,16 +3,11 @@
 import pytest
 
 from repro.baselines.circuit import OracleCircuitBaseline
-from repro.baselines.ecmp import run_ecmp_baseline
-from repro.baselines.static_fabric import run_static_baseline
-from repro.core.crc import ClosedRingControl, CRCConfig
+from repro.core.crc import CRCConfig
+from repro.experiments.api import ExperimentSpec, run_experiment
 from repro.experiments.figures import figure1_rows, figure2_rows, mapreduce_comparison_rows
-from repro.experiments.harness import (
-    build_grid_fabric,
-    build_torus_fabric,
-    run_adaptive_experiment,
-    run_fluid_experiment,
-)
+from repro.experiments.harness import build_grid_fabric, build_torus_fabric
+from repro.fabric.fabric import Fabric
 from repro.fabric.topology import TopologyBuilder
 from repro.sim.flow import Flow
 from repro.sim.units import GBPS, megabytes
@@ -36,43 +31,61 @@ def test_build_grid_and_torus_fabrics():
     assert torus.topology.total_lanes() == 18
 
 
-def test_run_fluid_experiment_completes_flows():
+def test_run_experiment_completes_flows():
     fabric = build_grid_fabric(3, 3)
     flows = [Flow("n0x0", "n2x2", megabytes(1)), Flow("n0x2", "n2x0", megabytes(1))]
-    result = run_fluid_experiment(fabric, flows, label="smoke")
-    assert result.label == "smoke"
-    assert result.makespan is not None and result.makespan > 0
-    assert result.mean_fct is not None
-    assert result.power_watts > 0
-    assert result.summary_row()[0] == "smoke"
+    record = run_experiment(ExperimentSpec(fabric=fabric, flows=flows, label="smoke"))
+    assert record.label == "smoke"
+    assert record.makespan is not None and record.makespan > 0
+    assert record.mean_fct is not None
+    assert record.power_watts > 0
+    assert record.to_dict()["label"] == "smoke"
 
 
-def test_run_adaptive_experiment_returns_controller():
+def test_run_experiment_with_crc_controller_reconfigures():
     names = grid_names(3, 3)
     spec = WorkloadSpec(nodes=names, mean_flow_size_bits=megabytes(2), seed=5)
     flows = MapReduceShuffleWorkload(spec).generate()
-    result, crc = run_adaptive_experiment(3, 3, flows)
-    assert result.makespan is not None
-    assert isinstance(crc, ClosedRingControl)
-    assert crc.summary()["iterations"] >= 0
+    record = run_experiment(
+        ExperimentSpec(
+            fabric=build_grid_fabric(3, 3),
+            flows=flows,
+            label="adaptive",
+            controller="crc",
+            controller_config={
+                "config": CRCConfig(
+                    enable_topology_reconfiguration=True, grid_rows=3, grid_columns=3
+                )
+            },
+        )
+    )
+    assert record.makespan is not None
+    assert record.controller_summary.name == "crc"
+    assert record.controller_summary.iterations >= 0
+    crc = record.controller_instance.crc
+    assert crc.summary()["iterations"] == record.controller_summary.data["iterations"]
 
 
 # --------------------------------------------------------------------------- #
 # Baselines
 # --------------------------------------------------------------------------- #
-def test_static_baseline_runs_without_crc():
+def test_static_baseline_runs_without_control():
     fabric = build_grid_fabric(3, 3)
     flows = [Flow("n0x0", "n2x2", megabytes(1))]
-    result = run_static_baseline(fabric, flows)
-    assert result.crc_summary == {}
-    assert result.flows.completion_fraction() == 1.0
+    record = run_experiment(
+        ExperimentSpec(fabric=fabric, flows=flows, controller="static")
+    )
+    assert dict(record.controller_summary.data) == {}
+    assert record.flows.completion_fraction() == 1.0
 
 
 def test_ecmp_baseline_spreads_flows_over_paths():
     topology = TopologyBuilder(lanes_per_link=2).grid(3, 3)
     flows = [Flow("n0x0", "n2x2", megabytes(1)) for _ in range(8)]
-    result = run_ecmp_baseline(topology, flows)
-    assert result.flows.completion_fraction() == 1.0
+    record = run_experiment(
+        ExperimentSpec(fabric=Fabric(topology), flows=flows, controller="ecmp")
+    )
+    assert record.flows.completion_fraction() == 1.0
     # ECMP should have used more than one distinct path across the flows.
     assert len({tuple(flow.path) for flow in flows}) > 1
 

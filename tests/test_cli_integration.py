@@ -3,12 +3,11 @@
 import pytest
 
 from repro.cli import build_parser, main
-from repro.core.crc import ClosedRingControl, CRCConfig
-from repro.core.policy import PowerCapPolicy
-from repro.experiments.harness import build_grid_fabric, run_fluid_experiment
-from repro.fabric.topology import TopologyBuilder
+from repro.core.crc import CRCConfig
+from repro.experiments.api import ExperimentSpec, run_experiment
+from repro.experiments.harness import build_grid_fabric
 from repro.sim.flow import Flow
-from repro.sim.units import GBPS, megabytes, microseconds
+from repro.sim.units import megabytes, microseconds
 from repro.workloads.base import WorkloadSpec
 from repro.workloads.incast import IncastWorkload
 from repro.workloads.storage import DisaggregatedStorageWorkload
@@ -21,7 +20,8 @@ def test_cli_parser_has_all_subcommands():
     parser = build_parser()
     args = parser.parse_args(["figure1"])
     assert args.command == "figure1"
-    for command in ("figure2", "mapreduce", "breakeven", "validate", "list-scenarios", "sweep"):
+    for command in ("figure2", "mapreduce", "breakeven", "validate",
+                    "list-scenarios", "list-controllers", "sweep"):
         assert parser.parse_args([command]).command == command
     assert parser.parse_args(["run", "incast"]).command == "run"
 
@@ -72,6 +72,15 @@ def test_cli_list_scenarios_enumerates_catalog(capsys):
         assert workload in output
 
 
+def test_cli_list_controllers_enumerates_registry(capsys):
+    from repro.core.controllers import controller_names
+
+    assert main(["list-controllers"]) == 0
+    output = capsys.readouterr().out
+    for name in controller_names():
+        assert name in output
+
+
 def test_cli_run_prints_json_row(capsys):
     import json
 
@@ -93,7 +102,7 @@ def test_cli_sweep_parallel_output_matches_serial(tmp_path, capsys):
     serial_path = str(tmp_path / "serial.jsonl")
     parallel_path = str(tmp_path / "parallel.jsonl")
     base = ["sweep", "--scenario", "permutation", "--scenario", "incast",
-            "--grid", "rows=2,3", "--grid", "crc=false,true"]
+            "--grid", "rows=2,3", "--grid", "controller=none,crc"]
     assert main(base + ["--workers", "1", "--output", serial_path]) == 0
     assert main(base + ["--workers", "2", "--output", parallel_path]) == 0
     output = capsys.readouterr().out
@@ -112,7 +121,9 @@ def test_incast_receiver_link_is_the_bottleneck():
     names = fabric.topology.endpoints()
     spec = WorkloadSpec(nodes=names, mean_flow_size_bits=megabytes(1), seed=4)
     workload = IncastWorkload(spec, receiver="n1x1")
-    result = run_fluid_experiment(fabric, workload.generate(), label="incast")
+    result = run_experiment(
+        ExperimentSpec(fabric=fabric, flows=workload.generate(), label="incast")
+    )
     assert result.flows.completion_fraction() == 1.0
     # The receiver can absorb at most its NIC/attached capacity; the makespan
     # cannot beat total_bits / attached_capacity.
@@ -131,21 +142,24 @@ def test_power_capped_crc_keeps_fabric_under_budget_while_serving_storage():
     fabric = build_grid_fabric(3, 3, lanes_per_link=2)
     initial_power = fabric.power_report().total_watts
     cap = initial_power * 0.9
-    crc = ClosedRingControl(
-        fabric,
-        CRCConfig(
-            power_cap_watts=cap,
-            enable_bypass=False,
-            enable_adaptive_fec=False,
-            control_period=microseconds(200),
-        ),
-    )
     names = fabric.topology.endpoints()
     spec = WorkloadSpec(nodes=names, mean_flow_size_bits=megabytes(1), seed=9)
     workload = DisaggregatedStorageWorkload(spec, num_requests=40, requests_per_second=2e4)
-    result = run_fluid_experiment(
-        fabric, workload.generate(), label="storage", crc=crc,
-        control_period=microseconds(200),
+    result = run_experiment(
+        ExperimentSpec(
+            fabric=fabric,
+            flows=workload.generate(),
+            label="storage",
+            controller="crc",
+            controller_config={
+                "config": CRCConfig(
+                    power_cap_watts=cap,
+                    enable_bypass=False,
+                    enable_adaptive_fec=False,
+                    control_period=microseconds(200),
+                ),
+            },
+        )
     )
     assert result.flows.completion_fraction() == 1.0
     # The CRC shed lanes to respect the cap.
@@ -161,28 +175,32 @@ def test_full_adaptive_run_conserves_lane_budget_and_completes():
     rows = columns = 3
     fabric = build_grid_fabric(rows, columns, lanes_per_link=2)
     lanes_before = fabric.topology.total_lanes()
-    crc = ClosedRingControl(
-        fabric,
-        CRCConfig(
-            enable_topology_reconfiguration=True,
-            grid_rows=rows,
-            grid_columns=columns,
-            utilisation_threshold=0.4,
-            control_period=microseconds(200),
-            enable_adaptive_fec=True,
-            enable_bypass=True,
-        ),
-    )
-    names = [TopologyBuilder.grid_node_name(r, c) for r in range(rows) for c in range(columns)]
     flows = [
         Flow("n0x0", "n2x2", megabytes(4)),
         Flow("n2x2", "n0x0", megabytes(4)),
         Flow("n0x2", "n2x0", megabytes(4)),
         Flow("n2x0", "n0x2", megabytes(4)),
     ]
-    result = run_fluid_experiment(
-        fabric, flows, label="adaptive", crc=crc, control_period=microseconds(200)
+    result = run_experiment(
+        ExperimentSpec(
+            fabric=fabric,
+            flows=flows,
+            label="adaptive",
+            controller="crc",
+            controller_config={
+                "config": CRCConfig(
+                    enable_topology_reconfiguration=True,
+                    grid_rows=rows,
+                    grid_columns=columns,
+                    utilisation_threshold=0.4,
+                    control_period=microseconds(200),
+                    enable_adaptive_fec=True,
+                    enable_bypass=True,
+                ),
+            },
+        )
     )
+    crc = result.controller_instance.crc
     assert result.flows.completion_fraction() == 1.0
     lanes_after = fabric.topology.total_lanes() + crc.executor.free_lane_count
     assert lanes_after == lanes_before

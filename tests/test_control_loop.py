@@ -7,8 +7,6 @@ mid-flight reconfiguration, and the headline comparative claim (the
 adaptive fabric beats the static one on hotspot FCT).
 """
 
-import math
-
 import pytest
 
 from repro.core.control import (
@@ -18,11 +16,9 @@ from repro.core.control import (
 )
 from repro.core.plp import ReconfigurationDelays
 from repro.core.reconfiguration import ReconfigurationPlanner
+from repro.experiments.api import ExperimentSpec, run_experiment
 from repro.experiments.comparison import adaptive_vs_static
-from repro.experiments.harness import (
-    build_grid_fabric,
-    run_control_loop_experiment,
-)
+from repro.experiments.harness import build_grid_fabric
 from repro.fabric.topology import TopologyBuilder
 from repro.sim.engine import Simulator
 from repro.sim.flow import Flow, FlowSet, reset_flow_ids
@@ -60,14 +56,15 @@ def _hotspot_flows(rows=3, columns=3, num_flows=18, seed=7):
 
 def _run_loop(fabric, flows, **config_kwargs):
     config = ControlLoopConfig(interval=microseconds(100.0), **config_kwargs)
-    result, loop = run_control_loop_experiment(
-        fabric,
-        flows,
-        loop_config=config,
-        grid_rows=3,
-        grid_columns=3,
+    record = run_experiment(
+        ExperimentSpec(
+            fabric=fabric,
+            flows=flows,
+            controller="loop",
+            controller_config={"config": config, "grid_rows": 3, "grid_columns": 3},
+        )
     )
-    return result, loop
+    return record, record.controller_instance.loop
 
 
 # --------------------------------------------------------------------------- #

@@ -13,8 +13,7 @@ from repro.core.plp import (
 )
 from repro.fabric.fabric import Fabric, FabricConfig
 from repro.fabric.topology import TopologyBuilder
-from repro.phy.fec import FEC_NONE, FEC_RS544
-from repro.phy.link import Link
+from repro.phy.fec import FEC_NONE
 from repro.sim.units import GBPS
 
 

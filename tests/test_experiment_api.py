@@ -1,0 +1,393 @@
+"""Controller registry, the single experiment entrypoint, and the legacy
+entrypoint parity contracts.
+
+Covers the acceptance criteria of the API redesign: every registered
+controller round-trips through ``run_experiment`` (and through a 2-worker
+sweep with bit-identical rows), and each deprecated legacy entrypoint
+returns bit-identical metrics to its ``ExperimentSpec`` equivalent.
+"""
+
+import json
+
+import pytest
+
+from repro.core.controllers import (
+    Controller,
+    ControllerError,
+    ControllerSummary,
+    controller_catalog,
+    controller_names,
+    create_controller,
+    register_controller,
+)
+from repro.core.control import ControlLoopConfig
+from repro.core.crc import ClosedRingControl, CRCConfig
+from repro.experiments.api import ExperimentSpec, FabricSpec, run_experiment
+from repro.experiments.harness import (
+    ExperimentResult,
+    build_grid_fabric,
+    run_adaptive_experiment,
+    run_control_loop_experiment,
+    run_fluid_experiment,
+)
+from repro.experiments.scenarios import resolve_params, get_scenario
+from repro.experiments.sweep import run_sweep, strip_timing
+from repro.fabric.fabric import Fabric
+from repro.sim.flow import Flow, FlowSet, reset_flow_ids
+from repro.sim.units import megabytes, microseconds
+from repro.workloads.base import WorkloadSpec
+from repro.workloads.hotspot import HotspotWorkload
+
+BUILTIN_CONTROLLERS = ("none", "static", "ecmp", "crc", "loop")
+
+
+def _hotspot_flows(seed=7, num_flows=12):
+    """Deterministic hotspot workload on a fresh 3x3 grid."""
+    reset_flow_ids()
+    fabric = build_grid_fabric(3, 3, lanes_per_link=2)
+    spec = WorkloadSpec(
+        nodes=fabric.topology.endpoints(),
+        mean_flow_size_bits=megabytes(1.0),
+        seed=seed,
+    )
+    flows = HotspotWorkload(
+        spec,
+        num_flows=num_flows,
+        hot_fraction=0.6,
+        hot_pairs=[("n0x0", "n2x2"), ("n0x2", "n2x0")],
+    ).generate()
+    return fabric, flows
+
+
+def _metric_fingerprint(metrics):
+    """Byte-stable form of a metrics dict for bit-identity assertions."""
+    return json.dumps(metrics, sort_keys=True)
+
+
+# --------------------------------------------------------------------------- #
+# Registry
+# --------------------------------------------------------------------------- #
+def test_builtin_controllers_are_registered_in_order():
+    assert tuple(controller_names()) == BUILTIN_CONTROLLERS
+    catalog = {row["name"]: row["description"] for row in controller_catalog()}
+    assert set(catalog) == set(BUILTIN_CONTROLLERS)
+    assert all(description for description in catalog.values())
+
+
+def test_create_unknown_controller_raises_with_known_names():
+    with pytest.raises(ControllerError, match="unknown controller"):
+        create_controller("autopilot")
+    with pytest.raises(ControllerError, match="crc"):
+        create_controller("no-such-thing")
+
+
+def test_register_duplicate_controller_raises():
+    with pytest.raises(ControllerError, match="already registered"):
+        register_controller("crc")(Controller)
+
+
+def test_bad_controller_config_raises_controller_error():
+    with pytest.raises(ControllerError, match="bad configuration"):
+        create_controller("ecmp", {"no_such_knob": 1})
+    with pytest.raises(ControllerError, match="not both"):
+        create_controller(
+            "crc", {"config": CRCConfig(), "utilisation_threshold": 0.5}
+        )
+    with pytest.raises(ControllerError, match="not both"):
+        create_controller(
+            "loop", {"config": ControlLoopConfig(), "utilisation_threshold": 0.5}
+        )
+
+
+def test_third_party_controller_reaches_run_experiment_and_scenarios():
+    calls = []
+
+    @register_controller("test-observer")
+    class ObserverController(Controller):
+        """Test-only controller that counts lifecycle steps."""
+
+        name = "test-observer"
+
+        def prepare(self, fabric):
+            super().prepare(fabric)
+            calls.append("prepare")
+
+        def attach(self, simulator):
+            super().attach(simulator)
+            calls.append("attach")
+
+        def summary(self):
+            return ControllerSummary(name=self.name, data={"steps": float(len(calls))})
+
+    try:
+        fabric, flows = _hotspot_flows()
+        record = run_experiment(
+            ExperimentSpec(fabric=fabric, flows=flows, controller="test-observer")
+        )
+        assert calls == ["prepare", "attach"]
+        assert record.metrics["completion_fraction"] == 1.0
+        assert record.controller_summary.data["steps"] == 2.0
+        # The scenario layer sees it too: any registered name validates.
+        params = resolve_params(
+            get_scenario("uniform-burst"), {"controller": "test-observer"}
+        )
+        assert params["controller"] == "test-observer"
+    finally:
+        from repro.core import controllers as controllers_module
+
+        controllers_module._REGISTRY.pop("test-observer", None)
+
+
+# --------------------------------------------------------------------------- #
+# Round-trips through run_experiment
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("controller", BUILTIN_CONTROLLERS)
+def test_every_controller_round_trips_through_run_experiment(controller):
+    fabric, flows = _hotspot_flows()
+    config = {"grid_rows": 3, "grid_columns": 3} if controller == "loop" else {}
+    record = run_experiment(
+        ExperimentSpec(
+            fabric=fabric,
+            flows=flows,
+            label=f"round-trip-{controller}",
+            controller=controller,
+            controller_config=config,
+        )
+    )
+    assert record.controller == controller
+    assert record.controller_summary.name == controller
+    assert record.metrics["completion_fraction"] == 1.0
+    assert record.makespan is not None and record.makespan > 0
+    assert record.power_watts > 0
+    # The serialisable part is genuinely JSON-serialisable.
+    as_dict = record.to_dict()
+    assert json.loads(json.dumps(as_dict)) == as_dict
+    assert as_dict["provenance"]["controller"] == controller
+
+
+def test_fabric_spec_builds_and_serialises():
+    spec = FabricSpec(topology="torus", rows=3, columns=3, lanes_per_link=1)
+    fabric = spec.build()
+    assert isinstance(fabric, Fabric)
+    assert len(fabric.topology.links()) == 18
+    assert json.loads(json.dumps(spec.to_dict()))["topology"] == "torus"
+    reset_flow_ids()
+    record = run_experiment(
+        ExperimentSpec(fabric=spec, flows=[Flow("n0x0", "n2x2", megabytes(1))])
+    )
+    assert record.metrics["completion_fraction"] == 1.0
+    assert record.provenance["fabric"]["rows"] == 3
+
+
+def test_run_experiment_exposes_runtime_handles():
+    fabric, flows = _hotspot_flows()
+    record = run_experiment(
+        ExperimentSpec(
+            fabric=fabric,
+            flows=flows,
+            controller="loop",
+            controller_config={"grid_rows": 3, "grid_columns": 3},
+        )
+    )
+    assert record.fabric is fabric
+    assert isinstance(record.flows, FlowSet)
+    loop = record.controller_instance.loop
+    assert loop is not None and len(loop.ticks) >= 1
+    # The per-tick telemetry handle is the loop's collector.
+    assert record.telemetry is loop.telemetry
+    assert len(record.telemetry.series("max_utilisation").samples) == len(loop.ticks)
+
+
+def test_controllers_round_trip_through_two_worker_sweep_bit_identically():
+    grid = {"controller": list(BUILTIN_CONTROLLERS), "num_flows": [12]}
+    serial = run_sweep(scenarios=["uniform-burst"], grid=grid, workers=1)
+    parallel = run_sweep(scenarios=["uniform-burst"], grid=grid, workers=2)
+    assert [row["params"]["controller"] for row in serial] == list(BUILTIN_CONTROLLERS)
+    stripped = lambda rows: [json.dumps(strip_timing(r), sort_keys=True) for r in rows]
+    assert stripped(serial) == stripped(parallel)
+    # Fabric-side controller choice never perturbs the workload seed.
+    assert len({row["seed"] for row in serial}) == 1
+    assert len({row["metrics"]["total_bits"] for row in serial}) == 1
+
+
+# --------------------------------------------------------------------------- #
+# Legacy entrypoint parity (deprecated shims, one release)
+# --------------------------------------------------------------------------- #
+def _experiment_metrics(record):
+    return dict(record.metrics), dict(record.controller_summary.data)
+
+
+def _legacy_metrics(result: ExperimentResult):
+    return (
+        {
+            "makespan": result.makespan,
+            "mean_fct": result.mean_fct,
+            "p99_fct": result.p99_fct,
+            "straggler": result.straggler,
+            "completion_fraction": result.flows.completion_fraction(),
+            "power_watts": result.power_watts,
+        },
+        dict(result.controller_summary),
+    )
+
+
+def _assert_parity(legacy: ExperimentResult, record):
+    legacy_metrics, legacy_summary = _legacy_metrics(legacy)
+    assert legacy_metrics == {
+        "makespan": record.makespan,
+        "mean_fct": record.mean_fct,
+        "p99_fct": record.p99_fct,
+        "straggler": record.straggler,
+        "completion_fraction": record.metrics["completion_fraction"],
+        "power_watts": record.power_watts,
+    }
+    assert _metric_fingerprint(legacy_summary) == _metric_fingerprint(
+        dict(record.controller_summary.data)
+    )
+
+
+def test_run_fluid_experiment_parity_with_none_controller():
+    fabric, flows = _hotspot_flows()
+    with pytest.warns(DeprecationWarning, match="run_fluid_experiment"):
+        legacy = run_fluid_experiment(fabric, flows, label="parity")
+    fabric, flows = _hotspot_flows()
+    record = run_experiment(
+        ExperimentSpec(fabric=fabric, flows=flows, label="parity", controller="none")
+    )
+    _assert_parity(legacy, record)
+
+
+def test_run_fluid_experiment_parity_with_crc_instance():
+    def crc_config():
+        return CRCConfig(
+            enable_topology_reconfiguration=True,
+            grid_rows=3,
+            grid_columns=3,
+            utilisation_threshold=0.5,
+        )
+
+    fabric, flows = _hotspot_flows()
+    crc = ClosedRingControl(fabric, crc_config())
+    with pytest.warns(DeprecationWarning, match="run_fluid_experiment"):
+        legacy = run_fluid_experiment(fabric, flows, label="parity", crc=crc)
+    fabric, flows = _hotspot_flows()
+    record = run_experiment(
+        ExperimentSpec(
+            fabric=fabric,
+            flows=flows,
+            label="parity",
+            controller="crc",
+            controller_config={"config": crc_config()},
+        )
+    )
+    _assert_parity(legacy, record)
+    assert record.metrics["reconfigurations"] == len(crc.reconfiguration_times)
+
+
+def test_run_adaptive_experiment_parity():
+    _, flows = _hotspot_flows()
+    with pytest.warns(DeprecationWarning, match="run_adaptive_experiment"):
+        legacy, crc = run_adaptive_experiment(3, 3, flows)
+    assert isinstance(crc, ClosedRingControl)
+    fabric, flows = _hotspot_flows()
+    record = run_experiment(
+        ExperimentSpec(
+            fabric=fabric,
+            flows=flows,
+            label="adaptive",
+            controller="crc",
+            controller_config={
+                "config": CRCConfig(
+                    enable_topology_reconfiguration=True, grid_rows=3, grid_columns=3
+                )
+            },
+        )
+    )
+    _assert_parity(legacy, record)
+
+
+def test_run_control_loop_experiment_parity():
+    fabric, flows = _hotspot_flows()
+    with pytest.warns(DeprecationWarning, match="run_control_loop_experiment"):
+        legacy, loop = run_control_loop_experiment(
+            fabric,
+            flows,
+            loop_config=ControlLoopConfig(interval=microseconds(100.0)),
+            grid_rows=3,
+            grid_columns=3,
+        )
+    assert loop.ticks, "the legacy shim must still hand back the bound loop"
+    fabric, flows = _hotspot_flows()
+    record = run_experiment(
+        ExperimentSpec(
+            fabric=fabric,
+            flows=flows,
+            label="adaptive",
+            controller="loop",
+            controller_config={
+                "config": ControlLoopConfig(interval=microseconds(100.0)),
+                "grid_rows": 3,
+                "grid_columns": 3,
+            },
+        )
+    )
+    _assert_parity(legacy, record)
+    assert record.metrics["reconfigurations"] == len(loop.reconfiguration_times)
+
+
+def test_run_static_baseline_parity():
+    from repro.baselines.static_fabric import run_static_baseline
+
+    fabric, flows = _hotspot_flows()
+    with pytest.warns(DeprecationWarning, match="run_static_baseline"):
+        legacy = run_static_baseline(fabric, flows)
+    fabric, flows = _hotspot_flows()
+    record = run_experiment(
+        ExperimentSpec(fabric=fabric, flows=flows, label="static", controller="static")
+    )
+    _assert_parity(legacy, record)
+
+
+def test_run_ecmp_baseline_parity():
+    from repro.baselines.ecmp import run_ecmp_baseline
+
+    fabric, flows = _hotspot_flows()
+    with pytest.warns(DeprecationWarning, match="run_ecmp_baseline"):
+        legacy = run_ecmp_baseline(fabric.topology, flows)
+    fabric, flows = _hotspot_flows()
+    record = run_experiment(
+        ExperimentSpec(fabric=fabric, flows=flows, label="ecmp", controller="ecmp")
+    )
+    _assert_parity(legacy, record)
+
+
+# --------------------------------------------------------------------------- #
+# Deprecations
+# --------------------------------------------------------------------------- #
+def test_crc_summary_property_is_deprecated_alias():
+    result = ExperimentResult(
+        label="x", fluid=None, flows=FlowSet([]), controller_summary={"a": 1.0}
+    )
+    with pytest.warns(DeprecationWarning, match="controller_summary"):
+        assert result.crc_summary == {"a": 1.0}
+    assert result.controller_summary == {"a": 1.0}
+
+
+def test_crc_summary_constructor_keyword_and_setter_still_work():
+    # The one-release compatibility promise covers writes too: code that
+    # built its own ExperimentResult with the old field name keeps working.
+    with pytest.warns(DeprecationWarning, match="controller_summary"):
+        result = ExperimentResult(
+            label="x", fluid=None, flows=FlowSet([]), crc_summary={"a": 1.0}
+        )
+    assert result.controller_summary == {"a": 1.0}
+    with pytest.warns(DeprecationWarning, match="controller_summary"):
+        result.crc_summary = {"b": 2.0}
+    assert result.controller_summary == {"b": 2.0}
+
+
+def test_crc_true_scenario_parameter_is_deprecated():
+    scenario = get_scenario("uniform-burst")
+    with pytest.warns(DeprecationWarning, match="controller='crc'"):
+        params = resolve_params(scenario, {"crc": True})
+    assert params["controller"] == "crc"

@@ -8,7 +8,7 @@ from repro.fabric.switch import SwitchModel
 from repro.fabric.topology import TopologyBuilder
 from repro.sim.engine import Simulator
 from repro.sim.packet import Packet
-from repro.sim.units import GBPS, bits_from_bytes
+from repro.sim.units import bits_from_bytes
 
 
 @pytest.fixture

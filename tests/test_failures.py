@@ -4,7 +4,7 @@ import pytest
 
 from repro.core.crc import ClosedRingControl, CRCConfig
 from repro.core.policy import AdaptiveFecPolicy, Observation
-from repro.experiments.harness import build_grid_fabric, run_fluid_experiment
+from repro.experiments.harness import build_grid_fabric
 from repro.fabric.failures import (
     FailureEvent,
     FailureInjector,

@@ -1,6 +1,5 @@
 """Tests for the fluid (flow-level) simulator."""
 
-import math
 
 import pytest
 

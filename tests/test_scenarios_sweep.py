@@ -31,7 +31,6 @@ from repro.experiments.sweep import (
     load_rows,
     run_sweep,
     strip_timing,
-    write_rows,
 )
 
 
@@ -80,7 +79,10 @@ def test_resolve_params_merges_and_validates():
     with pytest.raises(ScenarioError, match="topology"):
         resolve_params(scenario, {"topology": "hypercube"})
     with pytest.raises(ScenarioError, match="crc"):
-        resolve_params(scenario, {"topology": "torus", "crc": True})
+        resolve_params(scenario, {"topology": "torus", "controller": "crc"})
+    with pytest.warns(DeprecationWarning):
+        with pytest.raises(ScenarioError, match="crc"):
+            resolve_params(scenario, {"topology": "torus", "crc": True})
 
 
 def test_resolve_params_canonicalises_numeric_types():
@@ -103,7 +105,9 @@ def test_resolve_params_canonicalises_numeric_types():
 def test_run_seed_ignores_fabric_parameters():
     scenario = get_scenario("permutation")
     grid = resolve_params(scenario, {"topology": "grid", "lanes_per_link": 2})
-    torus = resolve_params(scenario, {"topology": "torus", "lanes_per_link": 1, "crc": False})
+    torus = resolve_params(
+        scenario, {"topology": "torus", "lanes_per_link": 1, "controller": "none"}
+    )
     assert derive_run_seed(7, scenario.name, grid) == derive_run_seed(7, scenario.name, torus)
     # But workload parameters and the base seed both matter.
     bigger = resolve_params(scenario, {"rows": 4})
@@ -126,8 +130,8 @@ def test_run_scenario_row_is_json_serialisable_and_complete():
 
 
 def test_run_scenario_same_flows_across_fabrics():
-    static = run_scenario("mapreduce-skewed", {"crc": False}, base_seed=3)
-    adaptive = run_scenario("mapreduce-skewed", {"crc": True}, base_seed=3)
+    static = run_scenario("mapreduce-skewed", {"controller": "none"}, base_seed=3)
+    adaptive = run_scenario("mapreduce-skewed", {"controller": "crc"}, base_seed=3)
     assert static["seed"] == adaptive["seed"]
     assert static["metrics"]["total_bits"] == adaptive["metrics"]["total_bits"]
 
@@ -145,7 +149,7 @@ def test_expand_grid_cartesian_product_order():
 
 
 def test_build_runs_skips_invalid_combinations():
-    grid = {"topology": ["grid", "torus"], "crc": [False, True]}
+    grid = {"topology": ["grid", "torus"], "controller": ["none", "crc"]}
     runs = build_runs(["permutation"], grid)
     # torus+crc is invalid, the other three corners survive.
     assert len(runs) == 3
@@ -176,9 +180,18 @@ def test_sweep_deterministic_across_worker_counts():
 
 
 def test_sweep_rerun_is_bit_identical():
-    first = run_sweep(scenarios=["uniform-burst"], grid={"crc": [False, True]})
-    second = run_sweep(scenarios=["uniform-burst"], grid={"crc": [False, True]})
+    grid = {"controller": ["none", "crc"]}
+    first = run_sweep(scenarios=["uniform-burst"], grid=grid)
+    second = run_sweep(scenarios=["uniform-burst"], grid=grid)
     assert _strip_all(first) == _strip_all(second)
+
+
+def test_legacy_crc_grid_axis_still_sweeps():
+    # The deprecated crc=true spelling keeps working for one release.
+    with pytest.warns(DeprecationWarning, match="crc=True is deprecated"):
+        rows = run_sweep(scenarios=["uniform-burst"], grid={"crc": [True]})
+    assert rows[0]["params"]["controller"] == "crc"
+    assert rows[0]["metrics"]["completion_fraction"] == 1.0
 
 
 def test_sweep_base_seed_changes_results():

@@ -1,6 +1,5 @@
 """Tests for repro.sim.units."""
 
-import math
 
 import pytest
 
