@@ -396,7 +396,11 @@ class ControlLoop:
             if until is not None and next_event > until:
                 fluid.run(until=until)
                 break
-            fluid.run(until=next_event)
+            if fluid.run(until=next_event).truncated:
+                # The fluid model exhausted its event budget: its clock can
+                # no longer follow the engine's, so further control ticks
+                # would observe (and mutate against) frozen traffic state.
+                break
             engine.run(until=next_event)
             events += 1
             if events >= max_ticks:
@@ -440,7 +444,11 @@ class ControlLoop:
         }
         smoothed_max = max(smoothed.values()) if smoothed else 0.0
         active = fluid.active_flows()
-        pending_bits = sum(flow.bits_remaining for flow in active)
+        # Exact remaining demand at the tick instant: the fluid model
+        # advances flow progress lazily from rate-change anchors, and
+        # pending_demand_bits() evaluates the anchors at the current clock
+        # rather than trusting whenever bits_remaining was last published.
+        pending_bits = fluid.pending_demand_bits()
         self.demand_ewma.update(pending_bits)
         power = self.fabric.power_report().total_watts
         self.fabric.power_budget.record(now, power)
@@ -621,6 +629,9 @@ class ControlLoop:
         # Push new capacities into the fluid model.  Links that shrank take
         # effect immediately (the lanes are gone); links created by the plan
         # join disabled -- they are training until the batch completes.
+        # Every mutation goes through the simulator API, which feeds the
+        # incremental allocator's dirty set (unchanged capacities are
+        # no-ops, so the blanket push below re-solves only what moved).
         before = set(fluid.links())
         for key, capacity in self.fabric.directed_capacities().items():
             if fluid.has_link(key):

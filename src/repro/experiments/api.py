@@ -115,6 +115,15 @@ class ExperimentSpec:
         Optional absolute stop time (flows may be left unfinished).
     flow_rate_limit_bps:
         Per-flow rate cap; default is the slowest endpoint NIC rate.
+    allocator:
+        Fluid rate-allocation engine: ``"incremental"`` (dirty-set max-min
+        with a completion heap, the default) or ``"reference"`` (full
+        recompute per event, the parity oracle).  Both are bit-identical;
+        see :mod:`repro.sim.fluid`.
+    max_events:
+        Cumulative fluid event budget for the whole run; an exhausted
+        budget surfaces as ``metrics["truncated"]`` instead of silently
+        reporting a prefix.
     label:
         Free-form tag carried into the record (report tables key on it).
     """
@@ -128,6 +137,8 @@ class ExperimentSpec:
     failure_period: float = 1e-4
     until: Optional[float] = None
     flow_rate_limit_bps: Optional[float] = None
+    allocator: str = "incremental"
+    max_events: int = 10_000_000
 
     def provenance(self) -> Dict[str, object]:
         """JSON-serialisable description of this spec (sans flow payload)."""
@@ -145,6 +156,8 @@ class ExperimentSpec:
             "failure_period": self.failure_period,
             "until": self.until,
             "flow_rate_limit_bps": self.flow_rate_limit_bps,
+            "allocator": self.allocator,
+            "max_events": self.max_events,
         }
 
 
@@ -196,6 +209,11 @@ class RunRecord:
         return float(self.metrics.get("completion_fraction", 0.0))
 
     @property
+    def truncated(self) -> bool:
+        """Whether the fluid run exhausted its event budget mid-workload."""
+        return bool(self.metrics.get("truncated", False))
+
+    @property
     def power_watts(self) -> float:
         """Fabric power in its final state."""
         return float(self.metrics.get("power_watts", 0.0))
@@ -228,11 +246,17 @@ def _build_fluid(
     flow_rate_limit_bps: Optional[float],
     failure_events: Optional[Sequence[FailureEvent]],
     failure_period: float,
+    allocator: str = "incremental",
+    max_events: int = 10_000_000,
 ) -> Tuple[FluidFlowSimulator, Optional[FailureInjector]]:
     """Fluid simulator preloaded with the fabric's links, flows and failures."""
     if flow_rate_limit_bps is None:
         flow_rate_limit_bps = _default_flow_rate_limit(fabric)
-    simulator = FluidFlowSimulator(flow_rate_limit_bps=flow_rate_limit_bps)
+    simulator = FluidFlowSimulator(
+        flow_rate_limit_bps=flow_rate_limit_bps,
+        allocator=allocator,
+        max_events=max_events,
+    )
     for key, capacity in fabric.directed_capacities().items():
         simulator.add_link(key, capacity)
     for flow in flows:
@@ -270,6 +294,8 @@ def run_experiment(spec: ExperimentSpec) -> RunRecord:
         spec.flow_rate_limit_bps,
         spec.failures or None,
         spec.failure_period,
+        allocator=spec.allocator,
+        max_events=spec.max_events,
     )
     controller.attach(simulator)
     fluid_result = controller.run(until=spec.until)
@@ -286,6 +312,7 @@ def run_experiment(spec: ExperimentSpec) -> RunRecord:
         "power_watts": fabric.power_report().total_watts,
         "reconfigurations": summary.reconfigurations,
         "flows_rerouted": summary.flows_rerouted,
+        "truncated": bool(fluid_result.truncated),
     }
     return RunRecord(
         label=spec.label,

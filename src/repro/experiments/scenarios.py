@@ -48,6 +48,7 @@ from repro.experiments.harness import build_fabric, fabric_state_row
 from repro.fabric.failures import FailureEvent, FailureKind
 from repro.fabric.topology import TopologyBuilder
 from repro.sim.flow import Flow, reset_flow_ids
+from repro.sim.fluid import ALLOCATORS as FLUID_ALLOCATORS
 from repro.sim.units import GBPS, megabytes, microseconds
 from repro.workloads.base import WorkloadSpec
 from repro.workloads.hotspot import HotspotWorkload
@@ -80,6 +81,7 @@ COMMON_DEFAULTS: Dict[str, object] = {
     "lanes_per_link": 2,
     "crc": False,                # DEPRECATED spelling of controller="crc"
     "controller": "none",        # any registered controller name
+    "allocator": "incremental",  # fluid rate allocator ("incremental"|"reference")
     "utilisation_threshold": 0.5,
     "control_period_us": 500.0,
     "mean_flow_mb": 2.0,
@@ -93,6 +95,7 @@ FABRIC_PARAM_KEYS = frozenset(
         "lanes_per_link",
         "crc",
         "controller",
+        "allocator",
         "utilisation_threshold",
         "control_period_us",
     }
@@ -272,6 +275,11 @@ def resolve_params(
             raise ScenarioError("crc=True conflicts with controller="
                                 f"{params['controller']!r}; pick one")
         params["controller"] = "crc"
+    if params["allocator"] not in FLUID_ALLOCATORS:
+        raise ScenarioError(
+            f"allocator must be one of {sorted(FLUID_ALLOCATORS)}, "
+            f"got {params['allocator']!r}"
+        )
     if params["controller"] not in controller_names():
         raise ScenarioError(
             f"controller must be one of {sorted(controller_names())}, "
@@ -405,6 +413,7 @@ def run_scenario(
             controller=controller,
             controller_config=controller_config_from_params(controller, params),
             failures=tuple(failure_events or ()),
+            allocator=str(params["allocator"]),
         )
     )
 
@@ -714,3 +723,58 @@ def _failure_recovery_events(
 )
 def _failure_recovery(spec: WorkloadSpec, params: Mapping[str, object]) -> List[Flow]:
     return UniformRandomWorkload(spec, num_flows=int(params["num_flows"])).generate()
+
+
+# --------------------------------------------------------------------------- #
+# Rack-scale scenarios (the incremental allocator's home turf; see
+# benchmarks/bench_fluid_scale.py for the speedup guard)
+# --------------------------------------------------------------------------- #
+@register_scenario(
+    "rack_scale_uniform",
+    "Rack-scale load test: a 16x16 grid (256 endpoints) under 20k+ uniform "
+    "random flows with Poisson arrivals at a target offered load",
+    workload="uniform-random",
+    rows=16,
+    columns=16,
+    mean_flow_mb=0.5,
+    num_flows=20480,
+    offered_load_gbps=2000.0,
+)
+def _rack_scale_uniform(spec: WorkloadSpec, params: Mapping[str, object]) -> List[Flow]:
+    return UniformRandomWorkload(
+        spec,
+        num_flows=int(params["num_flows"]),
+        offered_load_bps=float(params["offered_load_gbps"]) * GBPS,
+    ).generate()
+
+
+@register_scenario(
+    "trace_replay_dense",
+    "Dense deterministic trace replay at rack scale: every endpoint streams "
+    "one block to each of its `waves` ring successors, wave starts staggered",
+    workload="trace-replay",
+    rows=16,
+    columns=16,
+    mean_flow_mb=0.5,
+    waves=40,
+    stagger_us=50.0,
+)
+def _trace_replay_dense(spec: WorkloadSpec, params: Mapping[str, object]) -> List[Flow]:
+    nodes = list(spec.nodes)
+    waves = int(params["waves"])
+    if waves < 1:
+        raise ScenarioError(f"waves must be >= 1, got {waves}")
+    interval = microseconds(float(params["stagger_us"]))
+    records = []
+    for wave in range(1, waves + 1):
+        offset = max(wave % len(nodes), 1)  # never send to yourself
+        for index, src in enumerate(nodes):
+            records.append(
+                TraceRecordSpec(
+                    src=src,
+                    dst=nodes[(index + offset) % len(nodes)],
+                    size_bits=spec.mean_flow_size_bits,
+                    start_time=(wave - 1) * interval,
+                )
+            )
+    return TraceReplayWorkload(spec, records).generate()

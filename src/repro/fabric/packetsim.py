@@ -150,6 +150,10 @@ class PacketLevelNetwork:
             packet.mark_dropped(f"link {here}->{nxt} has no active capacity")
             port.packets_dropped += 1
             self.dropped.append(packet)
+            self.fabric.stats_for(here, nxt).observe(drops=1, packets=1)
+            self.trace.record(
+                now, "packet_dropped", packet_id=packet.packet_id, at=f"{here}->{nxt}"
+            )
             return
 
         serialization = link.serialization_delay(packet.size_bits)

@@ -79,6 +79,18 @@ class Flow:
         self.bits_remaining -= consumed
         return consumed
 
+    def sync_remaining(self, bits_remaining: float) -> None:
+        """Set the remaining volume directly (fluid-simulator bookkeeping).
+
+        The fluid simulator advances flows analytically from a rate-change
+        anchor instead of calling :meth:`transfer` per event; this setter is
+        how it publishes the exact progress, clamping the sub-ulp overshoot
+        a ``rate * elapsed`` product can produce right at completion time.
+        """
+        if bits_remaining < 0.0:
+            bits_remaining = 0.0
+        self.bits_remaining = bits_remaining
+
     def complete(self, time: float) -> None:
         """Mark the flow completed at *time*."""
         if time < self.start_time:

@@ -270,6 +270,27 @@ def test_adaptive_beats_static_on_hotspot_fct():
     assert by_label["adaptive"]["mean_fct"] < by_label["static"]["mean_fct"]
 
 
+def test_loop_stops_driving_a_truncated_fluid_simulation():
+    # Regression: the co-sim loop used to keep dispatching engine ticks
+    # against a fluid model that had exhausted its event budget, spinning
+    # up to max_ticks against frozen traffic state.  It must break out as
+    # soon as a fluid run reports truncation, and the record must say so.
+    fabric, flows = _hotspot_flows()
+    record = run_experiment(
+        ExperimentSpec(
+            fabric=fabric,
+            flows=flows,
+            controller="loop",
+            controller_config={"grid_rows": 3, "grid_columns": 3},
+            max_events=5,
+        )
+    )
+    assert record.truncated
+    assert record.metrics["completion_fraction"] < 1.0
+    loop = record.controller_instance.loop
+    assert len(loop.ticks) <= 5
+
+
 def test_loop_summary_counters_are_consistent():
     fabric, flows = _hotspot_flows()
     _, loop = _run_loop(fabric, flows)

@@ -233,3 +233,159 @@ def test_zero_capacity_link_gives_zero_rate():
     result = sim.run()
     assert not flow.completed
     assert flow.bits_remaining == 100.0
+
+
+def test_invalid_allocator_rejected():
+    with pytest.raises(ValueError, match="allocator"):
+        FluidFlowSimulator(allocator="magic")
+    with pytest.raises(ValueError, match="max_events"):
+        FluidFlowSimulator(max_events=0)
+
+
+@pytest.mark.parametrize("allocator", ["incremental", "reference"])
+def test_utilisation_honest_after_mid_run_capacity_change(allocator):
+    # 5 s at 100 bps fully loaded, then the capacity doubles and the flow
+    # still gets everything: utilisation should read 1.0 throughout.  The
+    # pre-integral implementation divided by the *final* capacity and
+    # reported 0.75.
+    sim = FluidFlowSimulator(allocator=allocator)
+    sim.add_link("ab", 100.0)
+    flow = Flow("a", "b", 1500.0)
+    sim.add_flow(flow, ["ab"])
+
+    def controller(simulator, now):
+        if now >= 5.0:
+            simulator.set_capacity("ab", 200.0)
+
+    sim.add_controller(5.0, controller, start_offset=5.0)
+    result = sim.run()
+    assert flow.fct == pytest.approx(10.0)  # 500 bits @ 100, 1000 bits @ 200
+    assert result.link_bits_carried["ab"] == pytest.approx(1500.0)
+    assert result.link_utilisation()["ab"] == pytest.approx(1.0)
+    # The explicit-duration variant keeps the legacy fixed-horizon meaning.
+    legacy = result.link_utilisation(duration=result.end_time)
+    assert legacy["ab"] == pytest.approx(1500.0 / (200.0 * 10.0))
+
+
+@pytest.mark.parametrize("allocator", ["incremental", "reference"])
+def test_disabled_window_excluded_from_utilisation_denominator(allocator):
+    # Enabled 0-2 s and 6-14 s, disabled in between; the link is saturated
+    # whenever it is up, so the honest utilisation is 1.0.
+    sim = FluidFlowSimulator(allocator=allocator)
+    sim.add_link("ab", 100.0)
+    flow = Flow("a", "b", 1000.0)
+    sim.add_flow(flow, ["ab"])
+
+    def controller(simulator, now):
+        if now == pytest.approx(2.0):
+            simulator.set_enabled("ab", False)
+        if now >= 6.0:
+            simulator.set_enabled("ab", True)
+
+    sim.add_controller(2.0, controller, start_offset=2.0)
+    result = sim.run()
+    assert flow.fct == pytest.approx(14.0)
+    assert result.link_utilisation()["ab"] == pytest.approx(1.0)
+
+
+@pytest.mark.parametrize("allocator", ["incremental", "reference"])
+def test_utilisation_counts_idle_time_after_the_workload_drains(allocator):
+    # The flow drains at t=1 but the run is asked to cover [0, 50]: the
+    # idle 49 s belong in the utilisation denominator (the lazy integrals
+    # stop at the last event; the result must extend them to end_time).
+    sim = FluidFlowSimulator(allocator=allocator)
+    sim.add_link("ab", 100.0)
+    flow = Flow("a", "b", 100.0)
+    sim.add_flow(flow, ["ab"])
+    result = sim.run(until=50.0)
+    assert flow.fct == pytest.approx(1.0)
+    assert result.end_time == pytest.approx(50.0)
+    assert result.link_utilisation()["ab"] == pytest.approx(100.0 / (100.0 * 50.0))
+
+
+@pytest.mark.parametrize("allocator", ["incremental", "reference"])
+def test_exhausted_event_budget_reports_truncation(allocator):
+    sim = FluidFlowSimulator(allocator=allocator)
+    sim.add_link("ab", 100.0)
+    flows = [Flow("a", "b", 100.0, start_time=float(i)) for i in range(10)]
+    for flow in flows:
+        sim.add_flow(flow, ["ab"])
+    result = sim.run(until=100.0, max_events=3)
+    assert result.truncated
+    # Honest end time: where the simulation actually stopped, not `until`.
+    assert result.end_time == sim.now < 100.0
+    assert not all(flow.completed for flow in flows)
+    # Truncation latches across resumed runs on the same simulator: the
+    # composite result still describes a run that once lost events.
+    resumed = sim.run(until=100.0)
+    assert resumed.truncated
+
+
+@pytest.mark.parametrize("allocator", ["incremental", "reference"])
+def test_budget_exhaustion_beyond_the_horizon_is_not_truncation(allocator):
+    # The arrival at t=0 consumes the whole budget, but the only remaining
+    # event (completion at t=10) lies beyond until=5: the run stops at the
+    # horizon exactly as a bigger budget would, and must not claim
+    # truncation or understate end_time.
+    sim = FluidFlowSimulator(allocator=allocator)
+    sim.add_link("ab", 100.0)
+    flow = Flow("a", "b", 1000.0)
+    sim.add_flow(flow, ["ab"])
+    result = sim.run(until=5.0, max_events=1)
+    assert not result.truncated
+    assert result.end_time == pytest.approx(5.0)
+    assert flow.bits_remaining == pytest.approx(500.0)
+
+
+@pytest.mark.parametrize("allocator", ["incremental", "reference"])
+def test_untruncated_run_reports_clean_flag(allocator):
+    sim = FluidFlowSimulator(allocator=allocator)
+    sim.add_link("ab", 100.0)
+    flow = Flow("a", "b", 100.0)
+    sim.add_flow(flow, ["ab"])
+    result = sim.run(until=50.0)
+    assert not result.truncated
+    assert result.end_time == pytest.approx(50.0)
+
+
+def test_noop_mutations_do_not_dirty_the_incremental_allocator():
+    sim = make_sim()
+    flow = Flow("a", "b", 1000.0)
+    sim.add_flow(flow, ["ab"])
+    sim.run(until=1.0)
+    assert not sim._dirty_links and not sim._dirty_flows
+    sim.set_capacity("ab", 100.0)  # unchanged value
+    sim.set_enabled("ab", True)  # already enabled
+    assert not sim._dirty_links and not sim._dirty_flows
+
+
+def test_completion_on_one_component_does_not_resolve_the_other():
+    # Two disjoint bottlenecks: finishing a flow on "ab" must re-solve only
+    # the "ab" component; the "bc" flows keep their rates untouched.
+    sim = make_sim()
+    short = Flow("a", "b", 100.0)
+    sim.add_flow(short, ["ab"])
+    others = [Flow("b", "c", 1000.0), Flow("b", "c", 1000.0)]
+    for flow in others:
+        sim.add_flow(flow, ["bc"])
+
+    closures = []
+    original = sim._solve_closure
+
+    def recording(flow_ids):
+        closures.append(set(flow_ids))
+        return original(flow_ids)
+
+    sim._solve_closure = recording
+    sim.run()
+    assert short.fct == pytest.approx(1.0)
+    assert all(flow.fct == pytest.approx(20.0) for flow in others)
+    # The admission batch solves all three flows in one pass.
+    admit_index = next(index for index, ids in enumerate(closures) if ids)
+    assert closures[admit_index] == {
+        short.flow_id, others[0].flow_id, others[1].flow_id
+    }
+    # When "short" completes at t=1 only the "ab" component is re-solved --
+    # it has no flows left, so the closure is empty and the "bc" flows'
+    # rates (and heap entries) are never touched.
+    assert closures[admit_index + 1] == set()
