@@ -1,0 +1,140 @@
+"""Scale guard for the packet-level backend.
+
+The packet simulator used to be a side-channel fed with pre-built packet
+lists; the transport layer (:mod:`repro.sim.transport`) turned it into a
+backend that packetises whole scenarios.  This benchmark guards the claim
+that made that promotion viable: **thousand-flow workloads finish
+packetised within CI time**.  It runs a rack-style uniform random burst
+through :class:`~repro.fabric.packetsim.PacketBackend` and asserts
+
+* every flow completes (drop-triggered retransmission recovers every
+  tail-drop),
+* the delivered payload equals the offered payload exactly (segmentation
+  conserves bits),
+* the run stays inside a deliberately generous wall-clock budget -- a
+  regression that reintroduces per-packet overheads an order of magnitude
+  higher (e.g. per-hop record allocation at scale, or quadratic port
+  bookkeeping) blows far past it, while CI jitter does not get near it.
+
+Run directly for the full guard, or with ``--quick`` for the CI smoke
+variant::
+
+    python benchmarks/bench_packet_scale.py [--quick]
+
+The pytest entry point runs the quick variant so ``pytest benchmarks``
+stays fast.
+"""
+
+import argparse
+import sys
+import time
+
+from repro.experiments.harness import build_grid_fabric
+from repro.fabric.packetsim import PacketBackend
+from repro.sim.flow import reset_flow_ids
+from repro.sim.units import megabytes
+from repro.workloads.base import WorkloadSpec
+from repro.workloads.uniform import UniformRandomWorkload
+
+#: Quick-mode configuration: CI smoke.  2048 flows is double the issue's
+#: >= 1k-flow acceptance floor; ~30k packets end to end.
+QUICK_FLOWS = 2048
+QUICK_MEAN_MB = 0.02
+QUICK_BUDGET_SECONDS = 90.0
+
+#: Full-mode configuration: ~140k packets.
+FULL_FLOWS = 4096
+FULL_MEAN_MB = 0.05
+FULL_BUDGET_SECONDS = 300.0
+
+GRID = (8, 8)
+
+
+def run_packetised(num_flows, mean_mb, rows=GRID[0], columns=GRID[1], seed=13):
+    """Packetise a uniform burst end to end; returns (elapsed, backend, flows)."""
+    reset_flow_ids()
+    fabric = build_grid_fabric(rows, columns, lanes_per_link=2)
+    spec = WorkloadSpec(
+        nodes=fabric.topology.endpoints(),
+        mean_flow_size_bits=megabytes(mean_mb),
+        seed=seed,
+    )
+    flows = UniformRandomWorkload(spec, num_flows=num_flows).generate()
+    backend = PacketBackend(fabric, flows)
+    start = time.perf_counter()
+    backend.run()
+    return time.perf_counter() - start, backend, flows
+
+
+def check_scale(num_flows, mean_mb, budget_seconds):
+    """Run the guard at one size and return its report row."""
+    elapsed, backend, flows = run_packetised(num_flows, mean_mb)
+    completed = sum(1 for flow in flows if flow.completed)
+    assert completed == num_flows, (
+        f"only {completed}/{num_flows} flows completed packetised"
+    )
+    offered = sum(flow.size_bits for flow in flows)
+    delivered = backend.network.bits_delivered
+    assert abs(delivered - offered) <= 1e-6 * offered, (
+        f"payload not conserved: offered {offered:.0f}b, delivered {delivered:.0f}b"
+    )
+    packets = backend.network.packets_injected
+    assert packets >= 10 * num_flows, (
+        f"{packets} packets for {num_flows} flows -- workload is not "
+        "meaningfully packetised"
+    )
+    assert elapsed <= budget_seconds, (
+        f"{num_flows} packetised flows took {elapsed:.1f}s "
+        f"(budget {budget_seconds:.0f}s)"
+    )
+    return {
+        "num_flows": num_flows,
+        "packets": packets,
+        "events": backend.simulator.events_executed,
+        "drop_fraction": backend.packet_metrics()["drop_fraction"],
+        "seconds": elapsed,
+        "events_per_second": backend.simulator.events_executed / max(elapsed, 1e-9),
+    }
+
+
+# --------------------------------------------------------------------------- #
+# pytest entry point (quick variant)
+# --------------------------------------------------------------------------- #
+def test_thousand_flow_scenarios_finish_packetised_in_ci_time():
+    row = check_scale(QUICK_FLOWS, QUICK_MEAN_MB, QUICK_BUDGET_SECONDS)
+    assert row["num_flows"] >= 1000
+
+
+# --------------------------------------------------------------------------- #
+# Command-line entry point
+# --------------------------------------------------------------------------- #
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke variant: fewer/smaller flows, tighter budget",
+    )
+    args = parser.parse_args(argv)
+    if args.quick:
+        num_flows, mean_mb, budget = QUICK_FLOWS, QUICK_MEAN_MB, QUICK_BUDGET_SECONDS
+    else:
+        num_flows, mean_mb, budget = FULL_FLOWS, FULL_MEAN_MB, FULL_BUDGET_SECONDS
+    try:
+        row = check_scale(num_flows, mean_mb, budget)
+    except AssertionError as error:
+        print(f"FAIL: {error}", file=sys.stderr)
+        return 1
+    print(
+        f"{row['num_flows']} flows packetised on a {GRID[0]}x{GRID[1]} grid: "
+        f"{row['packets']} packets, {row['events']} events, "
+        f"drop fraction {row['drop_fraction']:.3f}, "
+        f"{row['seconds']:.2f}s ({row['events_per_second']:.0f} events/s, "
+        f"budget {budget:.0f}s)"
+    )
+    print("bench_packet_scale OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,14 +13,21 @@ Examples
     repro-fabric list-controllers
     repro-fabric run mapreduce-skewed --set rows=4 --set skew_factor=3.0
     repro-fabric run hotspot_migration --set controller=ecmp
+    repro-fabric run uniform-burst --set backend=packet
     repro-fabric compare hotspot_migration
+    repro-fabric compare uniform-burst --set backend=packet
     repro-fabric sweep --scenario permutation --scenario incast \\
         --grid rows=3,4 --grid controller=none,crc --workers 4 --output sweep.jsonl
+    repro-fabric sweep --scenario uniform-burst --grid backend=fluid,packet \\
+        --output backends.jsonl
 
 Every ``run``/``compare``/``sweep`` invocation goes through the single
 experiment entrypoint (:func:`repro.experiments.api.run_experiment`); the
 ``controller`` parameter selects any controller registered in
-:mod:`repro.core.controllers` by name.
+:mod:`repro.core.controllers` by name, and the ``backend`` parameter picks
+the simulation backend (``fluid`` flow-level rates, or ``packet`` for the
+packetised transport over per-port FIFO buffers -- packet rows carry the
+extra drop/retransmission/queueing metrics).
 """
 
 from __future__ import annotations

@@ -25,20 +25,28 @@ from typing import Dict, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.core.controllers import (
     Controller,
+    ControllerError,
     ControllerSummary,
     create_controller,
 )
 from repro.experiments.harness import build_fabric
 from repro.fabric.fabric import Fabric, FabricConfig
 from repro.fabric.failures import FailureEvent, FailureInjector
+from repro.fabric.packetsim import PacketBackend
 from repro.sim.flow import Flow, FlowSet
 from repro.sim.fluid import FluidFlowSimulator, FluidResult
+from repro.sim.transport import TransportConfig
 from repro.sim.units import GBPS
 from repro.telemetry.collector import TelemetryCollector
 from repro.telemetry.metrics import straggler_ratio
 
 #: JSON-safe scalar types allowed verbatim in provenance dictionaries.
 _JSON_SCALARS = (bool, int, float, str, type(None))
+
+#: Valid ``ExperimentSpec.backend`` values: the flow-level fluid model and
+#: the packet-level simulator (MTU segmentation + windowed injection +
+#: drop-triggered retransmission over per-port FIFO buffers).
+BACKENDS = ("fluid", "packet")
 
 
 def _jsonable(value: object) -> object:
@@ -115,15 +123,33 @@ class ExperimentSpec:
         Optional absolute stop time (flows may be left unfinished).
     flow_rate_limit_bps:
         Per-flow rate cap; default is the slowest endpoint NIC rate.
+        Fluid backend only: the packet backend's injection is inherently
+        limited by first-link serialization and the transport window, so
+        the cap does not apply there.
+    backend:
+        Simulation backend: ``"fluid"`` (flow-level max-min rates, the
+        default) or ``"packet"`` (whole scenario packetised through
+        :class:`~repro.fabric.packetsim.PacketBackend` -- MTU-segmented
+        flows, windowed injection, per-port FIFO buffers with tail-drop
+        and retransmission).  Both return the same ``RunRecord`` metrics
+        schema; the packet backend adds packet-only metrics (drop
+        fraction, retransmitted bits, p99 queueing delay).
+        ``controller="loop"`` co-simulates with the fluid internals and is
+        rejected on the packet backend.
+    transport:
+        Optional :class:`~repro.sim.transport.TransportConfig` for the
+        packet backend (MTU, window, retransmit backoff); ignored by the
+        fluid backend.
     allocator:
         Fluid rate-allocation engine: ``"incremental"`` (dirty-set max-min
         with a completion heap, the default) or ``"reference"`` (full
         recompute per event, the parity oracle).  Both are bit-identical;
-        see :mod:`repro.sim.fluid`.
+        see :mod:`repro.sim.fluid`.  Fluid backend only (the packet
+        backend does not allocate rates).
     max_events:
-        Cumulative fluid event budget for the whole run; an exhausted
-        budget surfaces as ``metrics["truncated"]`` instead of silently
-        reporting a prefix.
+        Cumulative event budget for the whole run (fluid events, or packet
+        backend engine events); an exhausted budget surfaces as
+        ``metrics["truncated"]`` instead of silently reporting a prefix.
     label:
         Free-form tag carried into the record (report tables key on it).
     """
@@ -137,6 +163,8 @@ class ExperimentSpec:
     failure_period: float = 1e-4
     until: Optional[float] = None
     flow_rate_limit_bps: Optional[float] = None
+    backend: str = "fluid"
+    transport: Optional[TransportConfig] = None
     allocator: str = "incremental"
     max_events: int = 10_000_000
 
@@ -156,6 +184,8 @@ class ExperimentSpec:
             "failure_period": self.failure_period,
             "until": self.until,
             "flow_rate_limit_bps": self.flow_rate_limit_bps,
+            "backend": self.backend,
+            "transport": _jsonable(self.transport) if self.transport is not None else None,
             "allocator": self.allocator,
             "max_events": self.max_events,
         }
@@ -270,6 +300,26 @@ def _build_fluid(
 
 
 # --------------------------------------------------------------------------- #
+# Packet-backend assembly (same controller/failure surface as the fluid one)
+# --------------------------------------------------------------------------- #
+def _build_packet(
+    fabric: Fabric,
+    flows: Sequence[Flow],
+    transport: Optional[TransportConfig],
+    failure_events: Optional[Sequence[FailureEvent]],
+    failure_period: float,
+    max_events: int = 10_000_000,
+) -> Tuple[PacketBackend, Optional[FailureInjector]]:
+    """Packet backend preloaded with routed flows and the failure plan."""
+    backend = PacketBackend(fabric, flows, transport=transport, max_events=max_events)
+    injector: Optional[FailureInjector] = None
+    if failure_events:
+        injector = FailureInjector(fabric, failure_events)
+        injector.attach(backend, period=failure_period)
+    return backend, injector
+
+
+# --------------------------------------------------------------------------- #
 # The entrypoint
 # --------------------------------------------------------------------------- #
 def run_experiment(spec: ExperimentSpec) -> RunRecord:
@@ -281,27 +331,55 @@ def run_experiment(spec: ExperimentSpec) -> RunRecord:
     1. build the fabric (when *spec.fabric* is declarative),
     2. instantiate the named controller and let it ``prepare`` the fabric,
     3. load links, flows (routed on the fabric's router) and the failure
-       plan into a fresh fluid simulator,
+       plan into a fresh simulation backend (fluid or packet, per
+       ``spec.backend``),
     4. ``attach`` the controller and let it ``run`` the simulation,
     5. summarise flows, power and the controller into a :class:`RunRecord`.
+
+    Both backends produce the same metrics schema;
+    ``tests/test_backend_fidelity.py`` pins how far their headline numbers
+    may diverge per scenario.  The packet backend appends packet-only
+    metrics (drop fraction, retransmitted bits, queueing percentiles).
     """
+    if spec.backend not in BACKENDS:
+        raise ValueError(
+            f"backend must be one of {BACKENDS}, got {spec.backend!r}"
+        )
+    if spec.backend == "packet" and spec.controller == "loop":
+        raise ControllerError(
+            "controller 'loop' co-simulates with the fluid simulator's "
+            "internals and is not available on the packet backend; use "
+            "controller='crc' for adaptive control over packets"
+        )
     fabric = spec.fabric.build() if isinstance(spec.fabric, FabricSpec) else spec.fabric
     controller = create_controller(spec.controller, spec.controller_config)
     controller.prepare(fabric)
-    simulator, _ = _build_fluid(
-        fabric,
-        spec.flows,
-        spec.flow_rate_limit_bps,
-        spec.failures or None,
-        spec.failure_period,
-        allocator=spec.allocator,
-        max_events=spec.max_events,
-    )
-    controller.attach(simulator)
+    if spec.backend == "packet":
+        simulator: object
+        simulator, _ = _build_packet(
+            fabric,
+            spec.flows,
+            spec.transport,
+            spec.failures or None,
+            spec.failure_period,
+            max_events=spec.max_events,
+        )
+    else:
+        simulator, _ = _build_fluid(
+            fabric,
+            spec.flows,
+            spec.flow_rate_limit_bps,
+            spec.failures or None,
+            spec.failure_period,
+            allocator=spec.allocator,
+            max_events=spec.max_events,
+        )
+    controller.attach(simulator)  # type: ignore[arg-type]
     fluid_result = controller.run(until=spec.until)
     flow_set = FlowSet(spec.flows)
     summary = controller.summary()
     metrics: Dict[str, object] = {
+        "backend": spec.backend,
         "num_flows": len(spec.flows),
         "total_bits": flow_set.total_bits(),
         "completion_fraction": flow_set.completion_fraction(),
@@ -314,6 +392,8 @@ def run_experiment(spec: ExperimentSpec) -> RunRecord:
         "flows_rerouted": summary.flows_rerouted,
         "truncated": bool(fluid_result.truncated),
     }
+    if spec.backend == "packet":
+        metrics.update(simulator.packet_metrics())  # type: ignore[attr-defined]
     return RunRecord(
         label=spec.label,
         controller=spec.controller,

@@ -26,6 +26,7 @@ from typing import Dict, List, Mapping, Optional
 from repro.experiments.api import ExperimentSpec, RunRecord, run_experiment
 from repro.experiments.scenarios import (
     Scenario,
+    ScenarioError,
     controller_config_from_params,
     derive_run_seed,
     get_scenario,
@@ -36,8 +37,12 @@ from repro.experiments.scenarios import (
 #: The comparison's run labels, in report order.
 COMPARISON_LABELS = ("static", "ecmp", "adaptive")
 
-#: Registered controller behind each comparison label.
+#: Registered controller behind each comparison label.  The adaptive leg
+#: is the closed control loop on the fluid backend; on the packet backend
+#: (``backend="packet"``), where the loop cannot co-simulate, the scripted
+#: Closed Ring Control takes the adaptive slot instead.
 CONTROLLER_BY_LABEL = {"static": "static", "ecmp": "ecmp", "adaptive": "loop"}
+PACKET_CONTROLLER_BY_LABEL = {"static": "static", "ecmp": "ecmp", "adaptive": "crc"}
 
 
 def _result_row(label: str, record: RunRecord) -> Dict[str, object]:
@@ -75,7 +80,9 @@ def adaptive_vs_static(
     run regenerates the flow list from the same derived seed with the flow
     id counter reset, so all three controllers serve bit-identical
     workloads (and identical failure plans, when the scenario declares
-    one).
+    one).  The ``backend`` parameter selects the simulation backend for
+    all three legs; under ``backend="packet"`` the adaptive leg runs the
+    scripted CRC (see :data:`PACKET_CONTROLLER_BY_LABEL`).
     """
     if isinstance(scenario, str):
         scenario = get_scenario(scenario)
@@ -84,10 +91,20 @@ def adaptive_vs_static(
     params = resolve_params(scenario, merged)
     seed = derive_run_seed(base_seed, scenario.name, params)
 
+    backend = str(params["backend"])
+    by_label = CONTROLLER_BY_LABEL if backend == "fluid" else PACKET_CONTROLLER_BY_LABEL
+    if backend != "fluid" and params["topology"] != "grid":
+        # The packet adaptive leg is the CRC, whose grid-to-torus move only
+        # makes sense from a grid -- the same constraint resolve_params
+        # enforces for an explicit controller="crc" run.
+        raise ScenarioError(
+            "backend='packet' comparisons run controller='crc' as the "
+            "adaptive leg and require topology='grid'"
+        )
     rows: List[Dict[str, object]] = []
     for label in COMPARISON_LABELS:
         fabric, flows, failure_events = materialize_run(scenario, params, seed)
-        controller = CONTROLLER_BY_LABEL[label]
+        controller = by_label[label]
         record = run_experiment(
             ExperimentSpec(
                 fabric=fabric,
@@ -96,6 +113,8 @@ def adaptive_vs_static(
                 controller=controller,
                 controller_config=controller_config_from_params(controller, params),
                 failures=tuple(failure_events or ()),
+                backend=backend,
+                allocator=str(params["allocator"]),
             )
         )
         rows.append(_result_row(label, record))

@@ -43,7 +43,7 @@ from typing import Callable, Dict, List, Mapping, Optional
 from repro.core.control import ControlLoopConfig
 from repro.core.controllers import controller_names
 from repro.core.crc import CRCConfig
-from repro.experiments.api import ExperimentSpec, run_experiment
+from repro.experiments.api import BACKENDS, ExperimentSpec, run_experiment
 from repro.experiments.harness import build_fabric, fabric_state_row
 from repro.fabric.failures import FailureEvent, FailureKind
 from repro.fabric.topology import TopologyBuilder
@@ -81,6 +81,7 @@ COMMON_DEFAULTS: Dict[str, object] = {
     "lanes_per_link": 2,
     "crc": False,                # DEPRECATED spelling of controller="crc"
     "controller": "none",        # any registered controller name
+    "backend": "fluid",          # simulation backend ("fluid"|"packet")
     "allocator": "incremental",  # fluid rate allocator ("incremental"|"reference")
     "utilisation_threshold": 0.5,
     "control_period_us": 500.0,
@@ -95,6 +96,7 @@ FABRIC_PARAM_KEYS = frozenset(
         "lanes_per_link",
         "crc",
         "controller",
+        "backend",
         "allocator",
         "utilisation_threshold",
         "control_period_us",
@@ -275,6 +277,10 @@ def resolve_params(
             raise ScenarioError("crc=True conflicts with controller="
                                 f"{params['controller']!r}; pick one")
         params["controller"] = "crc"
+    if params["backend"] not in BACKENDS:
+        raise ScenarioError(
+            f"backend must be one of {sorted(BACKENDS)}, got {params['backend']!r}"
+        )
     if params["allocator"] not in FLUID_ALLOCATORS:
         raise ScenarioError(
             f"allocator must be one of {sorted(FLUID_ALLOCATORS)}, "
@@ -284,6 +290,11 @@ def resolve_params(
         raise ScenarioError(
             f"controller must be one of {sorted(controller_names())}, "
             f"got {params['controller']!r}"
+        )
+    if params["backend"] == "packet" and params["controller"] == "loop":
+        raise ScenarioError(
+            "controller='loop' co-simulates with the fluid simulator and "
+            "is not available on backend='packet'; use controller='crc'"
         )
     if params["controller"] == "crc" and params["topology"] != "grid":
         raise ScenarioError(
@@ -413,6 +424,7 @@ def run_scenario(
             controller=controller,
             controller_config=controller_config_from_params(controller, params),
             failures=tuple(failure_events or ()),
+            backend=str(params["backend"]),
             allocator=str(params["allocator"]),
         )
     )

@@ -4,7 +4,9 @@ A sweep is ``scenarios x parameter grid``: every selected scenario is run
 once per point of the expanded grid, the runs are fanned out across
 ``multiprocessing`` workers, and each run produces one JSON-serialisable
 result row with full config provenance (see ``docs/scenarios.md`` for the
-row schema).
+row schema).  Any common scenario parameter is a valid axis -- including
+``backend``, so one grid can cross the fluid and packet simulators over
+identical workloads (``--grid backend=fluid,packet``).
 
 Because :func:`repro.experiments.scenarios.run_scenario` derives each run's
 seed from its configuration alone (never from execution order), and because

@@ -16,6 +16,7 @@ from repro.fabric.failures import (
     random_failure_plan,
 )
 from repro.fabric.node import Node, NodeType
+from repro.fabric.packetsim import PacketBackend, PacketLevelNetwork, PortState
 from repro.fabric.routing import (
     Router,
     RoutingPolicy,
@@ -35,6 +36,9 @@ __all__ = [
     "random_failure_plan",
     "Node",
     "NodeType",
+    "PacketBackend",
+    "PacketLevelNetwork",
+    "PortState",
     "Router",
     "RoutingPolicy",
     "ecmp_paths",

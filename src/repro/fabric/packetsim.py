@@ -1,88 +1,166 @@
 """Packet-level simulation over a :class:`~repro.fabric.fabric.Fabric`.
 
-This is the detailed (per-packet) companion of the fluid simulator.  It is
-used for the small-scale experiments -- the Figure 1 latency breakdown and
-the E6 validation run that stands in for the paper's hardware proof of
-concept -- where per-packet latency and its decomposition matter, and where
-the packet count stays small enough for an interpreted event loop.
+This is the detailed (per-packet) companion of the fluid simulator -- and,
+since the transport layer (:mod:`repro.sim.transport`) landed, a full
+simulation *backend*: :class:`PacketBackend` runs whole flow workloads
+packetised and is selectable from every experiment surface via
+``ExperimentSpec.backend = "packet"``.
 
 Model
 -----
-Each directed link ``(a, b)`` has a single transmitter that serialises one
-packet at a time.  A packet's journey is simulated hop by hop:
+Each directed link ``(a, b)`` has a single transmitter feeding a FIFO
+output buffer.  A packet's journey is simulated hop by hop:
 
-1. the packet waits for the transmitter of the outgoing link to be free
-   (queueing delay),
-2. its first bit leaves after any switching delay at the forwarding element
-   (cut-through: header time + pipeline; store-and-forward: full packet
-   receive + pipeline),
-3. the first bit arrives at the next element after the link's propagation
-   plus SerDes/FEC latency,
-4. the transmitter stays busy for the packet's serialization time.
+1. the packet's head becomes available at the forwarding element (after
+   the cut-through switching delay at intermediate hops),
+2. the output buffer is checked *bit-accurately*: the backlog of a
+   work-conserving FIFO transmitter at time ``t`` is exactly
+   ``(busy_until - t) * capacity`` bits (the untransmitted remainder of
+   everything accepted so far).  If backlog plus the arriving packet
+   exceed the per-port buffer, the packet is tail-dropped; if the backlog
+   alone exceeds the ECN threshold fraction of the buffer, the port's
+   congestion-mark counter increments,
+3. accepted packets wait for the backlog to drain (queueing delay), then
+   occupy the transmitter for their serialization time,
+4. the head reaches the next element after the link's propagation plus
+   SerDes/FEC latency.
 
 On an idle fabric this reproduces exactly the closed-form breakdown of
-:meth:`repro.fabric.fabric.Fabric.path_latency`, which is what the
-validation test asserts.
+:meth:`repro.fabric.fabric.Fabric.path_latency`, which the validation
+suite (and ``tests/test_backend_fidelity.py``) asserts.
+
+The earlier implementation approximated the buffer with a drain-time
+proxy (drop when ``queueing > buffer/capacity``); the occupancy check is
+stricter by exactly the arriving packet's own bits, charges drops and
+congestion marks to per-port counters, and feeds queue-occupancy samples
+into the fabric's :meth:`~repro.fabric.fabric.Fabric.stats_for` streams so
+control-loop ticks observe packet-level congestion.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+import math
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.fabric.fabric import Fabric
 from repro.sim.engine import Simulator
+from repro.sim.flow import Flow, FlowSet
+from repro.sim.fluid import FluidResult
 from repro.sim.packet import HopRecord, Packet
 from repro.sim.trace import NullTrace, TraceRecorder
+from repro.sim.transport import PacketTransport, TransportConfig
 
 DirectedKey = Tuple[str, str]
+
+#: Backlog fraction of the buffer above which a port marks congestion
+#: (an ECN-style signal surfaced through ``PortState.ecn_marks``).
+DEFAULT_ECN_THRESHOLD = 0.65
 
 
 @dataclass
 class PortState:
-    """Transmitter state of one directed link."""
+    """Transmitter and FIFO output-buffer state of one directed link."""
 
+    #: Output buffer size in bits (tail-drop beyond this occupancy).
+    buffer_bits: float = float("inf")
+    #: Link rate the transmitter is currently clocking at (refreshed from
+    #: the live link on every forward, so reconfigurations take effect).
+    capacity_bps: float = 0.0
     busy_until: float = 0.0
     packets_sent: int = 0
     packets_dropped: int = 0
     bits_sent: float = 0.0
-    #: Maximum tolerated waiting time before the port drops a packet,
-    #: i.e. the drain time of the output buffer.
-    max_wait: float = field(default=float("inf"))
+    bits_dropped: float = 0.0
+    #: Packets that arrived to a backlog above the ECN threshold.
+    ecn_marks: int = 0
+    queueing_seconds_total: float = 0.0
+    max_backlog_bits: float = 0.0
 
 
 class PacketLevelNetwork:
-    """Event-driven packet forwarding over a fabric."""
+    """Event-driven packet forwarding over a fabric.
+
+    Parameters
+    ----------
+    simulator:
+        Event engine the forwarding events run on.
+    fabric:
+        The fabric whose topology, switches and link stats are used.
+    trace:
+        Optional event trace recorder.
+    ecn_threshold:
+        Backlog fraction of the buffer above which arrivals are marked.
+    record_hops:
+        Attach a :class:`~repro.sim.packet.HopRecord` per hop to every
+        packet (the Figure-1 breakdown path).  Disabled for large
+        packetised runs -- per-packet queueing totals are still kept.
+    retain_packets:
+        Keep delivered/dropped :class:`~repro.sim.packet.Packet` objects
+        in :attr:`delivered`/:attr:`dropped`.  Disabled by the backend at
+        scale; counters and queueing samples are always maintained.
+    """
 
     def __init__(
         self,
         simulator: Simulator,
         fabric: Fabric,
         trace: Optional[TraceRecorder] = None,
+        ecn_threshold: float = DEFAULT_ECN_THRESHOLD,
+        record_hops: bool = True,
+        retain_packets: bool = True,
     ) -> None:
+        if not 0.0 < ecn_threshold <= 1.0:
+            raise ValueError(f"ecn_threshold must be in (0, 1], got {ecn_threshold!r}")
         self.simulator = simulator
         self.fabric = fabric
         self.trace = trace if trace is not None else NullTrace()
+        self.ecn_threshold = ecn_threshold
+        self.record_hops = record_hops
+        self.retain_packets = retain_packets
         self._ports: Dict[DirectedKey, PortState] = {}
         self.delivered: List[Packet] = []
         self.dropped: List[Packet] = []
+        #: Per-packet end-to-end queueing totals of delivered packets
+        #: (feeds the p99 queueing-delay metric without retaining packets).
+        self.queueing_samples: List[float] = []
+        # Conservation counters (the property tests pin their invariant:
+        # entered == delivered + dropped + in_flight at any instant).
+        self.packets_injected = 0
+        self.packets_entered = 0
+        self.in_flight = 0
+        self.delivered_count = 0
+        self.dropped_count = 0
+        self.bits_delivered = 0.0
+        #: Optional hooks the transport layer installs.
+        self.on_delivered: Optional[Callable[[Packet], None]] = None
+        self.on_dropped: Optional[Callable[[Packet], None]] = None
 
     # ------------------------------------------------------------------ #
     # Port bookkeeping
     # ------------------------------------------------------------------ #
     def _port(self, key: DirectedKey) -> PortState:
-        if key not in self._ports:
+        port = self._ports.get(key)
+        if port is None:
             a, b = key
             link = self.fabric.topology.link_between(a, b)
-            capacity = link.capacity_bps
-            buffer_bits = self.fabric.config.switch_model.buffer_bits
-            max_wait = buffer_bits / capacity if capacity > 0 else 0.0
-            self._ports[key] = PortState(max_wait=max_wait)
-        return self._ports[key]
+            port = PortState(
+                buffer_bits=self.fabric.config.switch_model.buffer_bits,
+                capacity_bps=link.capacity_bps,
+            )
+            self._ports[key] = port
+        return port
 
     def port_stats(self) -> Dict[DirectedKey, PortState]:
-        """Per-directed-link transmitter statistics."""
-        return dict(self._ports)
+        """Snapshot of per-directed-link transmitter statistics.
+
+        The returned :class:`PortState` objects are *copies* frozen at
+        call time; live simulation state is never handed out (callers used
+        to receive the mutable internals and see them change underneath).
+        """
+        return {key: replace(port) for key, port in self._ports.items()}
 
     # ------------------------------------------------------------------ #
     # Injection
@@ -100,6 +178,7 @@ class PacketLevelNetwork:
             raise ValueError(
                 f"path {path} does not connect {packet.src!r} to {packet.dst!r}"
             )
+        self.packets_injected += 1
         self.simulator.schedule_at(
             packet.created_at, self._forward, packet, path, 0, packet.created_at
         )
@@ -126,7 +205,25 @@ class PacketLevelNetwork:
         link = self.fabric.topology.link_between(here, nxt)
         key = (here, nxt)
         port = self._port(key)
-        now = self.simulator.now
+        if hop_index == 0:
+            self.packets_entered += 1
+            self.in_flight += 1
+
+        capacity = link.capacity_bps
+        if capacity <= 0:
+            self._drop(packet, port, here, nxt, f"link {here}->{nxt} has no active capacity")
+            return
+        if capacity != port.capacity_bps:
+            # The link was reconfigured: the bits already accepted must keep
+            # draining at the *new* rate.  Rescale the remaining busy time so
+            # queued bits are conserved (remaining_old x old_rate == bits),
+            # otherwise the occupancy check would mis-size the buffer by the
+            # capacity ratio after every mid-run capacity change.
+            now = self.simulator.now
+            remaining = port.busy_until - now
+            if remaining > 0.0 and port.capacity_bps > 0.0:
+                port.busy_until = now + remaining * (port.capacity_bps / capacity)
+            port.capacity_bps = capacity
 
         switching = 0.0
         if hop_index > 0:
@@ -134,48 +231,50 @@ class PacketLevelNetwork:
             switching = self.fabric.switch(here).forwarding_latency(packet.size_bits)
         ready = head_available + switching
 
-        start_tx = max(ready, port.busy_until)
-        queueing = start_tx - ready
-        if queueing > port.max_wait:
-            packet.mark_dropped(f"buffer overflow at {here}->{nxt}")
-            port.packets_dropped += 1
-            self.dropped.append(packet)
-            self.fabric.stats_for(here, nxt).observe(drops=1, packets=1)
-            self.trace.record(
-                now, "packet_dropped", packet_id=packet.packet_id, at=f"{here}->{nxt}"
-            )
+        queueing = port.busy_until - ready
+        if queueing <= 0.0:
+            queueing = 0.0
+        backlog = queueing * capacity
+        if backlog > port.max_backlog_bits:
+            port.max_backlog_bits = backlog
+        if backlog + packet.size_bits > port.buffer_bits:
+            self._drop(packet, port, here, nxt, f"buffer overflow at {here}->{nxt}")
             return
-
-        if link.capacity_bps <= 0:
-            packet.mark_dropped(f"link {here}->{nxt} has no active capacity")
-            port.packets_dropped += 1
-            self.dropped.append(packet)
-            self.fabric.stats_for(here, nxt).observe(drops=1, packets=1)
-            self.trace.record(
-                now, "packet_dropped", packet_id=packet.packet_id, at=f"{here}->{nxt}"
-            )
-            return
+        if backlog > self.ecn_threshold * port.buffer_bits:
+            port.ecn_marks += 1
 
         serialization = link.serialization_delay(packet.size_bits)
+        start_tx = ready + queueing
         port.busy_until = start_tx + serialization
         port.packets_sent += 1
         port.bits_sent += packet.size_bits
-        self.fabric.stats_for(here, nxt).observe(packets=1)
+        port.queueing_seconds_total += queueing
+        packet.queueing_seconds += queueing
+        # Occupancy is fed to the stats stream as a buffer *fraction* (the
+        # price tagger's congestion term is dimensionless), not raw bits.
+        occupancy_fraction = (
+            backlog / port.buffer_bits if math.isfinite(port.buffer_bits) else 0.0
+        )
+        self.fabric.stats_for(here, nxt).observe(
+            packets=1, queue_occupancy=occupancy_fraction
+        )
 
         propagation = link.propagation_delay
         phy = link.phy_latency
         head_at_next = start_tx + propagation + phy
 
-        record = HopRecord(
-            element=here,
-            arrival=head_available,
-            departure=start_tx,
-            queueing=queueing,
-            switching=switching,
-            serialization=serialization if hop_index == 0 else 0.0,
-            propagation=propagation + phy,
-        )
-        packet.record_hop(record)
+        if self.record_hops:
+            packet.record_hop(
+                HopRecord(
+                    element=here,
+                    arrival=head_available,
+                    departure=start_tx,
+                    queueing=queueing,
+                    switching=switching,
+                    serialization=serialization if hop_index == 0 else 0.0,
+                    propagation=propagation + phy,
+                )
+            )
 
         if hop_index + 1 == len(path) - 1:
             # Next element is the destination: the packet is delivered once
@@ -187,9 +286,34 @@ class PacketLevelNetwork:
                 head_at_next, self._forward, packet, path, hop_index + 1, head_at_next
             )
 
+    def _drop(
+        self, packet: Packet, port: PortState, here: str, nxt: str, reason: str
+    ) -> None:
+        packet.mark_dropped(reason)
+        port.packets_dropped += 1
+        port.bits_dropped += packet.size_bits
+        self.dropped_count += 1
+        self.in_flight -= 1
+        if self.retain_packets:
+            self.dropped.append(packet)
+        self.fabric.stats_for(here, nxt).observe(drops=1, packets=1)
+        self.trace.record(
+            self.simulator.now,
+            "packet_dropped",
+            packet_id=packet.packet_id,
+            at=f"{here}->{nxt}",
+        )
+        if self.on_dropped is not None:
+            self.on_dropped(packet)
+
     def _deliver(self, packet: Packet, path: List[str]) -> None:
         packet.mark_delivered(self.simulator.now)
-        self.delivered.append(packet)
+        self.delivered_count += 1
+        self.in_flight -= 1
+        self.bits_delivered += packet.size_bits
+        self.queueing_samples.append(packet.queueing_seconds)
+        if self.retain_packets:
+            self.delivered.append(packet)
         self.trace.record(
             self.simulator.now,
             "packet_delivered",
@@ -199,17 +323,303 @@ class PacketLevelNetwork:
             latency=packet.latency,
             hops=len(path) - 1,
         )
+        if self.on_delivered is not None:
+            self.on_delivered(packet)
 
     # ------------------------------------------------------------------ #
     # Result summaries
     # ------------------------------------------------------------------ #
     def latencies(self) -> List[float]:
-        """End-to-end latencies of all delivered packets."""
+        """End-to-end latencies of all retained delivered packets."""
         return [p.latency for p in self.delivered if p.latency is not None]
 
     def delivery_fraction(self) -> float:
         """Delivered packets over delivered plus dropped."""
-        total = len(self.delivered) + len(self.dropped)
+        total = self.delivered_count + self.dropped_count
         if total == 0:
             return 0.0
-        return len(self.delivered) / total
+        return self.delivered_count / total
+
+
+class PacketBackend:
+    """Packet-level simulation backend with the fluid simulator's surface.
+
+    Assembles an event engine, a :class:`PacketLevelNetwork` and a
+    :class:`~repro.sim.transport.PacketTransport` over a flow workload,
+    and exposes the subset of the
+    :class:`~repro.sim.fluid.FluidFlowSimulator` API that controllers and
+    the failure injector consume -- ``add_controller``,
+    ``instantaneous_link_utilisation``, ``active_flows``,
+    ``pending_demand_bits``, ``has_link``/``set_capacity``/``add_link``
+    and ``reroute`` -- so ``controller="crc"`` and scenario failure plans
+    run unchanged against packets.  (``controller="loop"`` co-simulates
+    with the fluid model's internals and stays fluid-only;
+    :func:`repro.experiments.api.run_experiment` rejects the combination.)
+
+    Flows are routed at construction time on the fabric's router (after
+    the controller's ``prepare`` step), matching the fluid backend's
+    route-at-load-time contract; capacity mutations made through this
+    facade only feed the utilisation/report integrals, because the network
+    reads link capacities live from the fabric on every forward.
+
+    ``run()`` returns a :class:`~repro.sim.fluid.FluidResult` with
+    ``allocator="packet"`` -- one result schema across backends is what
+    lets :class:`~repro.experiments.api.RunRecord` stay backend-agnostic.
+    """
+
+    def __init__(
+        self,
+        fabric: Fabric,
+        flows: Sequence[Flow],
+        transport: Optional[TransportConfig] = None,
+        trace: Optional[TraceRecorder] = None,
+        record_hops: bool = False,
+        retain_packets: bool = False,
+        max_events: int = 10_000_000,
+    ) -> None:
+        if max_events <= 0:
+            raise ValueError(f"max_events must be positive, got {max_events!r}")
+        self.fabric = fabric
+        self.simulator = Simulator()
+        self.trace = trace if trace is not None else NullTrace()
+        self.network = PacketLevelNetwork(
+            self.simulator,
+            fabric,
+            trace=self.trace,
+            record_hops=record_hops,
+            retain_packets=retain_packets,
+        )
+        self._flows = list(flows)
+        self.transport = PacketTransport(
+            self.simulator,
+            self.network,
+            self._flows,
+            route_fn=self._route,
+            config=transport,
+        )
+        self.default_max_events = max_events
+        self._truncated = False
+        # Capacity view: utilisation denominators and report integrals.
+        self._capacities: Dict[DirectedKey, float] = dict(fabric.directed_capacities())
+        self._capacity_seconds: Dict[DirectedKey, float] = {
+            key: 0.0 for key in self._capacities
+        }
+        self._integrated_until = 0.0
+        # Windowed utilisation sampling state.
+        self._sample_time = 0.0
+        self._sample_bits: Dict[DirectedKey, float] = {key: 0.0 for key in self._capacities}
+        self._last_utilisation: Dict[DirectedKey, float] = {
+            key: 0.0 for key in self._capacities
+        }
+
+    def _route(self, flow: Flow) -> List[str]:
+        return list(self.fabric.router.path(flow.src, flow.dst, flow_id=flow.flow_id))
+
+    # ------------------------------------------------------------------ #
+    # Fluid-compatible surface (controllers, failure injector)
+    # ------------------------------------------------------------------ #
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self.simulator.now
+
+    def add_controller(
+        self,
+        period: float,
+        callback: Callable[["PacketBackend", float], None],
+        start_offset: float = 0.0,
+    ) -> None:
+        """Register a periodic controller callback (the CRC hook).
+
+        The callback receives this backend and the current time; it may
+        call :meth:`set_capacity`, :meth:`add_link`, :meth:`reroute` and
+        the observation methods, exactly as on the fluid simulator.
+        """
+        if period <= 0:
+            raise ValueError(f"controller period must be positive, got {period!r}")
+
+        def fire() -> None:
+            callback(self, self.simulator.now)
+            self.simulator.schedule(period, fire)
+
+        self.simulator.schedule_at(max(start_offset, self.simulator.now), fire)
+
+    def has_link(self, key: DirectedKey) -> bool:
+        """Whether a directed link with *key* is known to the backend."""
+        return key in self._capacities
+
+    def set_capacity(self, key: DirectedKey, capacity_bps: float) -> None:
+        """Record a capacity change (the network reads the fabric live)."""
+        if capacity_bps < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity_bps!r}")
+        if key not in self._capacities:
+            raise KeyError(f"unknown link {key!r}")
+        self._integrate_capacities()
+        self._capacities[key] = capacity_bps
+
+    def add_link(self, key: DirectedKey, capacity_bps: float) -> None:
+        """Register a link created mid-run (e.g. by a reconfiguration)."""
+        self._integrate_capacities()
+        self._capacities[key] = capacity_bps
+        self._capacity_seconds.setdefault(key, 0.0)
+        self._sample_bits.setdefault(key, 0.0)
+        self._last_utilisation.setdefault(key, 0.0)
+
+    def set_enabled(self, key: DirectedKey, enabled: bool) -> None:
+        """Compatibility no-op bookkeeping: a disabled link reports zero
+        capacity through the fabric, which the network reads live."""
+        self._integrate_capacities()
+
+    def active_flows(self) -> List[Flow]:
+        """Flows that have started and not yet finished."""
+        return self.transport.active_flows()
+
+    @property
+    def pending_flow_count(self) -> int:
+        """Registered flows that have not started yet."""
+        return self.transport.unstarted_count
+
+    def pending_demand_bits(self) -> float:
+        """Total undelivered volume of the active flows."""
+        return self.transport.pending_demand_bits()
+
+    def reroute(self, flow_id: int, new_path: Sequence[DirectedKey]) -> None:
+        """Move the remaining segments of an active flow onto a new path.
+
+        Accepts the fluid API's directed-key form; segments already in
+        flight complete on their old path.
+        """
+        keys = list(new_path)
+        if not keys:
+            raise ValueError("new path must not be empty")
+        missing = [key for key in keys if key not in self._capacities]
+        if missing:
+            raise KeyError(f"reroute of flow {flow_id} uses unknown links: {missing}")
+        path = [str(keys[0][0])] + [str(b) for _a, b in keys]
+        self.transport.reroute(flow_id, path)
+
+    def instantaneous_link_utilisation(self) -> Dict[DirectedKey, float]:
+        """Per-directed-link utilisation over the window since the last call.
+
+        Packet transmission is bursty at any single instant, so the
+        packet backend reports bits sent since the previous observation
+        divided by the link's capacity over that window -- the natural
+        packet-level analogue of the fluid model's instantaneous rates.
+        """
+        now = self.simulator.now
+        elapsed = now - self._sample_time
+        if elapsed <= 0.0:
+            return dict(self._last_utilisation)
+        ports = self.network._ports
+        utilisation: Dict[DirectedKey, float] = {}
+        for key, capacity in self._capacities.items():
+            port = ports.get(key)
+            bits = port.bits_sent if port is not None else 0.0
+            delta = bits - self._sample_bits.get(key, 0.0)
+            self._sample_bits[key] = bits
+            utilisation[key] = (
+                min(1.0, delta / (capacity * elapsed)) if capacity > 0 else 0.0
+            )
+        self._sample_time = now
+        self._last_utilisation = utilisation
+        return dict(utilisation)
+
+    # ------------------------------------------------------------------ #
+    # Running
+    # ------------------------------------------------------------------ #
+    def run(
+        self, until: Optional[float] = None, max_events: Optional[int] = None
+    ) -> FluidResult:
+        """Drive the packet simulation to completion (or *until*).
+
+        Mirrors the fluid loop's stopping contract: with ``until=None``
+        the run ends once the transport has nothing left to do (delivered
+        or abandoned every segment) even if periodic controller ticks
+        remain scheduled; with an explicit *until*, controllers keep
+        ticking up to the horizon.  Exhausting *max_events* with traffic
+        still in flight marks the result truncated, like the fluid
+        backend's event budget.
+        """
+        if max_events is None:
+            max_events = self.default_max_events
+        simulator = self.simulator
+        while True:
+            next_time = simulator.peek()
+            if next_time is None:
+                break
+            if until is not None and next_time > until:
+                break
+            if until is None and self.transport.finished:
+                # Only controller ticks remain and there is no traffic
+                # left for them to act on: the run is complete.
+                break
+            if simulator.events_executed >= max_events:
+                self._truncated = True
+                break
+            simulator.step()
+        if until is not None and simulator.now < until and not self._truncated:
+            simulator.run(until=until)
+        return self._result(until)
+
+    def _integrate_capacities(self) -> None:
+        now = self.simulator.now
+        elapsed = now - self._integrated_until
+        if elapsed > 0.0:
+            for key, capacity in self._capacities.items():
+                if capacity > 0.0:
+                    self._capacity_seconds[key] += capacity * elapsed
+        self._integrated_until = now
+
+    def _result(self, until: Optional[float]) -> FluidResult:
+        self._integrate_capacities()
+        if self._truncated:
+            end_time = self.simulator.now
+        else:
+            end_time = (
+                self.simulator.now if until is None else max(self.simulator.now, until)
+            )
+        idle_gap = end_time - self._integrated_until
+        ports = self.network._ports
+        bits_carried = {
+            key: (ports[key].bits_sent if key in ports else 0.0)
+            for key in self._capacities
+        }
+        return FluidResult(
+            flows=FlowSet(self._flows),
+            end_time=end_time,
+            events_processed=self.simulator.events_executed,
+            link_bits_carried=bits_carried,
+            link_capacities=dict(self._capacities),
+            trace=self.trace,
+            link_capacity_seconds={
+                key: self._capacity_seconds[key]
+                + (self._capacities[key] * idle_gap if idle_gap > 0 else 0.0)
+                for key in self._capacities
+            },
+            truncated=self._truncated,
+            allocator="packet",
+        )
+
+    # ------------------------------------------------------------------ #
+    # Packet-only metrics
+    # ------------------------------------------------------------------ #
+    def packet_metrics(self) -> Dict[str, float]:
+        """The packet-only metric block merged into ``RunRecord.metrics``."""
+        network = self.network
+        total = network.delivered_count + network.dropped_count
+        samples = network.queueing_samples
+        ports = network._ports.values()
+        return {
+            "packets_injected": float(network.packets_injected),
+            "packets_delivered": float(network.delivered_count),
+            "packets_dropped": float(network.dropped_count),
+            "drop_fraction": (network.dropped_count / total) if total else 0.0,
+            "retransmissions": float(self.transport.retransmissions),
+            "retransmitted_bits": self.transport.retransmitted_bits,
+            "segments_abandoned": float(self.transport.segments_abandoned),
+            "ecn_marks": float(sum(port.ecn_marks for port in ports)),
+            "mean_queueing_delay": float(np.mean(samples)) if samples else 0.0,
+            "p99_queueing_delay": (
+                float(np.percentile(samples, 99.0)) if samples else 0.0
+            ),
+        }

@@ -12,6 +12,9 @@ paper uses in its evaluation section.  It provides:
 * :mod:`repro.sim.fluid` -- a flow-level (fluid) simulator with max-min fair
   bandwidth sharing, used for the larger rack-scale experiments where
   packet-level simulation would be needlessly slow,
+* :mod:`repro.sim.transport` -- the packetising flow transport (MTU
+  segmentation, windowed injection, drop-triggered retransmission) behind
+  the packet simulation backend,
 * :mod:`repro.sim.random` -- reproducible, named random-number streams,
 * :mod:`repro.sim.trace` -- structured event tracing.
 
@@ -39,6 +42,7 @@ from repro.sim.process import GeneratorProcess, PeriodicProcess, Process
 from repro.sim.queues import DropTailQueue, PriorityDropTailQueue, QueueStats
 from repro.sim.random import RandomStreams
 from repro.sim.trace import NullTrace, TraceRecord, TraceRecorder
+from repro.sim.transport import FlowTransportState, PacketTransport, TransportConfig
 from repro.sim.units import (
     GBPS,
     GIGA,
@@ -87,6 +91,9 @@ __all__ = [
     "NullTrace",
     "TraceRecord",
     "TraceRecorder",
+    "FlowTransportState",
+    "PacketTransport",
+    "TransportConfig",
     "GBPS",
     "GIGA",
     "KILO",

@@ -77,6 +77,11 @@ class Packet:
     delivered_at: Optional[float] = None
     dropped: bool = False
     drop_reason: Optional[str] = None
+    #: Total time spent in output queues, accumulated hop by hop.  Kept as
+    #: a plain running sum (independent of the optional per-hop records) so
+    #: large packetised runs can report queueing percentiles without
+    #: retaining a :class:`HopRecord` list per packet.
+    queueing_seconds: float = 0.0
 
     @classmethod
     def of_bytes(

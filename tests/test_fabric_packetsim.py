@@ -234,3 +234,121 @@ def test_port_stats_accumulate(line_fabric):
     stats = network.port_stats()
     assert stats[("n0", "n1")].packets_sent == 1
     assert stats[("n2", "n3")].packets_sent == 1
+
+
+def test_port_stats_are_snapshots_frozen_at_call_time(line_fabric):
+    # Regression: port_stats() used to hand out the live mutable PortState
+    # objects, so a snapshot taken mid-run silently changed as the
+    # simulation progressed.
+    simulator = Simulator()
+    network = PacketLevelNetwork(simulator, line_fabric)
+    network.inject(Packet.of_bytes("n0", "n3", 1500))
+    simulator.drain()
+    before = network.port_stats()
+    network.inject(Packet.of_bytes("n0", "n3", 1500, created_at=simulator.now))
+    simulator.drain()
+    after = network.port_stats()
+    assert before[("n0", "n1")].packets_sent == 1, "snapshot mutated after the fact"
+    assert after[("n0", "n1")].packets_sent == 2
+    assert before[("n0", "n1")] is not network._ports[("n0", "n1")]
+    # Mutating the caller's copy must not corrupt live simulation state.
+    before[("n0", "n1")].packets_sent = 999
+    assert network.port_stats()[("n0", "n1")].packets_sent == 2
+
+
+def test_tail_drop_accounts_bits_and_marks_congestion():
+    topology = TopologyBuilder(lanes_per_link=1).line(2)
+    # 12000-byte buffer = 8 MTU packets: a same-instant burst of 20 fills
+    # the FIFO through the ECN band (65%..100%) and tail-drops the rest.
+    config = FabricConfig(switch_model=SwitchModel(buffer_bits=bits_from_bytes(12000)))
+    fabric = Fabric(topology, config)
+    simulator = Simulator()
+    network = PacketLevelNetwork(simulator, fabric)
+    packets = [Packet.of_bytes("n0", "n1", 1500, created_at=0.0) for _ in range(20)]
+    network.inject_all(packets)
+    simulator.drain()
+    port = network.port_stats()[("n0", "n1")]
+    assert port.packets_dropped > 0
+    assert port.bits_dropped == pytest.approx(
+        port.packets_dropped * bits_from_bytes(1500)
+    )
+    # Arrivals that met a backlog above the ECN threshold were marked.
+    assert port.ecn_marks > 0
+    # The backlog high-water mark (an arrival-observed statistic, so
+    # refused arrivals see a full buffer) never exceeds the buffer beyond
+    # float reconstruction noise.
+    assert port.max_backlog_bits <= port.buffer_bits * (1 + 1e-9)
+    # Single hop: every accepted packet is delivered, every refusal dropped.
+    assert len(network.delivered) == port.packets_sent
+    assert len(network.dropped) == port.packets_dropped
+
+
+def test_buffer_drains_at_the_new_rate_after_a_capacity_change():
+    # Queued bits must be conserved across a mid-run capacity change: the
+    # transmitter's remaining busy time is rescaled by the capacity ratio,
+    # so a later arrival sees the true backlog draining at the new rate.
+    topology = TopologyBuilder(lanes_per_link=2).line(2)
+    fabric = Fabric(topology, FabricConfig())
+    simulator = Simulator()
+    network = PacketLevelNetwork(simulator, fabric)
+    link = topology.link_between("n0", "n1")
+    old_capacity = link.capacity_bps
+    burst = [Packet.of_bytes("n0", "n1", 1500, created_at=0.0) for _ in range(8)]
+    network.inject_all(burst)
+    # Advance to the middle of the burst, then halve the link.
+    serialization = bits_from_bytes(1500) / old_capacity
+    probe_time = 4.5 * serialization
+    simulator.run(until=probe_time)
+    busy_until = network._ports[("n0", "n1")].busy_until
+    queued_bits = (busy_until - probe_time) * old_capacity
+    link.set_active_lane_count(1)
+    new_capacity = link.capacity_bps
+    assert new_capacity == pytest.approx(old_capacity / 2)
+    probe = Packet.of_bytes("n0", "n1", 1500, created_at=probe_time)
+    network.inject(probe)
+    simulator.drain()
+    # The probe waited for the *bit-conserved* backlog at the halved rate.
+    assert probe.queueing_seconds == pytest.approx(
+        queued_bits / new_capacity, rel=1e-9
+    )
+
+
+def test_conservation_counters_balance_after_drain():
+    topology = TopologyBuilder(lanes_per_link=1).line(3)
+    config = FabricConfig(switch_model=SwitchModel(buffer_bits=bits_from_bytes(4500)))
+    fabric = Fabric(topology, config)
+    simulator = Simulator()
+    network = PacketLevelNetwork(simulator, fabric)
+    packets = [Packet.of_bytes("n0", "n2", 1500, created_at=0.0) for _ in range(30)]
+    network.inject_all(packets)
+    simulator.drain()
+    assert network.packets_injected == 30
+    assert network.packets_entered == 30
+    assert network.in_flight == 0
+    assert network.delivered_count + network.dropped_count == 30
+    assert network.delivered_count == len(network.delivered)
+    assert network.dropped_count == len(network.dropped)
+
+
+def test_queueing_samples_track_delivered_packets(line_fabric):
+    simulator = Simulator()
+    network = PacketLevelNetwork(simulator, line_fabric)
+    first = Packet.of_bytes("n0", "n1", 1500, created_at=0.0)
+    second = Packet.of_bytes("n0", "n1", 1500, created_at=0.0)
+    network.inject_all([first, second])
+    simulator.drain()
+    assert len(network.queueing_samples) == 2
+    link = line_fabric.topology.link_between("n0", "n1")
+    serialization = link.serialization_delay(first.size_bits)
+    assert sorted(network.queueing_samples) == pytest.approx([0.0, serialization])
+    assert second.queueing_seconds == pytest.approx(serialization)
+
+
+def test_retain_packets_false_keeps_counters_only(line_fabric):
+    simulator = Simulator()
+    network = PacketLevelNetwork(simulator, line_fabric, retain_packets=False)
+    network.inject(Packet.of_bytes("n0", "n3", 1500))
+    simulator.drain()
+    assert network.delivered == [] and network.dropped == []
+    assert network.delivered_count == 1
+    assert network.delivery_fraction() == 1.0

@@ -2,17 +2,24 @@
 
 import math
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.cost import LinkPriceTagger
 from repro.core.reconfiguration import break_even_flow_size, reconfiguration_gain
+from repro.fabric.fabric import Fabric, FabricConfig
+from repro.fabric.packetsim import PacketLevelNetwork
+from repro.fabric.switch import SwitchModel
+from repro.fabric.topology import TopologyBuilder
 from repro.phy.fec import FEC_BASE_R, FEC_LDPC, FEC_RS528, FEC_RS544, STANDARD_FEC_SCHEMES
 from repro.phy.link import Link
 from repro.sim.engine import Simulator
 from repro.sim.flow import Flow
 from repro.sim.fluid import FluidFlowSimulator
+from repro.sim.packet import Packet
 from repro.sim.random import RandomStreams
+from repro.sim.units import bits_from_bytes
 from repro.telemetry.metrics import jain_fairness_index
 
 # Keep hypothesis example counts modest: these run inside a large suite.
@@ -109,6 +116,111 @@ def test_fluid_link_never_oversubscribed(num_flows):
     load = sim.instantaneous_link_load()
     assert load["shared"] <= 1000.0 * (1 + 1e-9)
     assert load["private"] <= 1000.0 * (1 + 1e-9)
+
+
+# --------------------------------------------------------------------------- #
+# Packet-level network invariants
+# --------------------------------------------------------------------------- #
+#: One random packet draw: (src pick, dst pick, size bytes, injection time).
+_packet_draws = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=10 ** 6),
+        st.integers(min_value=0, max_value=10 ** 6),
+        st.floats(min_value=64.0, max_value=3000.0, allow_nan=False),
+        st.floats(min_value=0.0, max_value=5e-5, allow_nan=False),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+#: Random small topology: a line of 2..5 nodes or a 2x2..3x3 grid.
+_topologies = st.one_of(
+    st.tuples(st.just("line"), st.integers(2, 5), st.just(0)),
+    st.tuples(st.just("grid"), st.integers(2, 3), st.integers(2, 3)),
+)
+
+
+def _build_packet_network(shape, buffer_bytes=None):
+    kind, a, b = shape
+    builder = TopologyBuilder(lanes_per_link=1)
+    topology = builder.line(a) if kind == "line" else builder.grid(a, b)
+    config = FabricConfig()
+    if buffer_bytes is not None:
+        config = FabricConfig(
+            switch_model=SwitchModel(buffer_bits=bits_from_bytes(buffer_bytes))
+        )
+    fabric = Fabric(topology, config)
+    simulator = Simulator()
+    return simulator, PacketLevelNetwork(simulator, fabric), fabric
+
+
+def _inject_draws(network, fabric, draws):
+    endpoints = fabric.topology.endpoints()
+    packets = []
+    for src_pick, dst_pick, size_bytes, created_at in draws:
+        src = endpoints[src_pick % len(endpoints)]
+        dst = endpoints[dst_pick % len(endpoints)]
+        if src == dst:
+            dst = endpoints[(dst_pick + 1) % len(endpoints)]
+            if src == dst:
+                continue
+        packets.append(Packet.of_bytes(src, dst, size_bytes, created_at=created_at))
+    network.inject_all(packets)
+    return packets
+
+
+@COMMON_SETTINGS
+@given(_topologies, _packet_draws, st.floats(min_value=0.0, max_value=1.0))
+def test_packet_conservation_at_any_run_point(shape, draws, horizon_fraction):
+    """entered == delivered + dropped + in-flight at any run(until) cut,
+    and everything settles (in-flight == 0) once the calendar drains."""
+    # A tight buffer so random bursts genuinely exercise the drop path.
+    simulator, network, fabric = _build_packet_network(shape, buffer_bytes=4500)
+    packets = _inject_draws(network, fabric, draws)
+    horizon = horizon_fraction * (max(p.created_at for p in packets) + 2e-5) if packets else 0.0
+    simulator.run(until=horizon)
+    assert network.packets_entered == (
+        network.delivered_count + network.dropped_count + network.in_flight
+    )
+    assert network.packets_entered <= network.packets_injected
+    simulator.drain()
+    assert network.in_flight == 0
+    assert network.packets_entered == network.packets_injected == len(packets)
+    assert network.delivered_count + network.dropped_count == len(packets)
+    # Payload conservation: delivered bits are exactly the delivered sizes.
+    assert network.bits_delivered == pytest.approx(
+        sum(p.size_bits for p in network.delivered)
+    )
+
+
+@COMMON_SETTINGS
+@given(_topologies, _packet_draws)
+def test_packet_hop_timestamps_are_nondecreasing(shape, draws):
+    simulator, network, fabric = _build_packet_network(shape)
+    _inject_draws(network, fabric, draws)
+    simulator.drain()
+    for packet in network.delivered:
+        previous_departure = packet.created_at
+        for hop in packet.hops:
+            assert hop.arrival >= previous_departure - 1e-15
+            assert hop.departure >= hop.arrival
+            assert hop.queueing >= 0.0
+            assert hop.switching >= 0.0
+            previous_departure = hop.departure
+        assert packet.delivered_at >= previous_departure
+
+
+@COMMON_SETTINGS
+@given(_topologies, _packet_draws)
+def test_packet_delay_breakdown_sums_to_latency(shape, draws):
+    simulator, network, fabric = _build_packet_network(shape)
+    _inject_draws(network, fabric, draws)
+    simulator.drain()
+    assert network.delivered, "idle-buffer runs must deliver everything"
+    for packet in network.delivered:
+        breakdown = packet.delay_breakdown()
+        assert sum(breakdown.values()) == pytest.approx(packet.latency, rel=1e-9)
+        assert breakdown["queueing"] == pytest.approx(packet.queueing_seconds, rel=1e-9)
 
 
 # --------------------------------------------------------------------------- #
