@@ -16,6 +16,12 @@ through :class:`~repro.fabric.packetsim.PacketBackend` and asserts
   higher (e.g. per-hop record allocation at scale, or quadratic port
   bookkeeping) blows far past it, while CI jitter does not get near it.
 
+Since the closed control loop became a packet-backend citizen, both modes
+also run a **loop-on-packet** case -- the hotspot-migration scenario
+co-simulated with ``controller="loop"`` against the packet network -- and
+assert it completes inside its own budget, so adaptive-control packet
+runs stay inside the CI time budget too.
+
 Run directly for the full guard, or with ``--quick`` for the CI smoke
 variant::
 
@@ -30,6 +36,7 @@ import sys
 import time
 
 from repro.experiments.harness import build_grid_fabric
+from repro.experiments.scenarios import run_scenario
 from repro.fabric.packetsim import PacketBackend
 from repro.sim.flow import reset_flow_ids
 from repro.sim.units import megabytes
@@ -48,6 +55,15 @@ FULL_MEAN_MB = 0.05
 FULL_BUDGET_SECONDS = 300.0
 
 GRID = (8, 8)
+
+#: Loop-on-packet configuration: the hotspot-migration scenario (the loop
+#: is its default controller) co-simulated on the packet backend.  Quick
+#: mode shrinks the flows the same way the fidelity gate does.
+LOOP_SCENARIO = "hotspot_migration"
+LOOP_QUICK_OVERRIDES = {"backend": "packet", "mean_flow_mb": 0.05}
+LOOP_QUICK_BUDGET_SECONDS = 60.0
+LOOP_FULL_OVERRIDES = {"backend": "packet"}
+LOOP_FULL_BUDGET_SECONDS = 240.0
 
 
 def run_packetised(num_flows, mean_mb, rows=GRID[0], columns=GRID[1], seed=13):
@@ -97,12 +113,44 @@ def check_scale(num_flows, mean_mb, budget_seconds):
     }
 
 
+def check_loop_on_packet(overrides, budget_seconds):
+    """Run the loop-on-packet case and return its report row."""
+    reset_flow_ids()
+    start = time.perf_counter()
+    row = run_scenario(LOOP_SCENARIO, overrides)
+    elapsed = time.perf_counter() - start
+    metrics = row["metrics"]
+    assert row["params"]["controller"] == "loop"
+    assert metrics["backend"] == "packet"
+    assert metrics["completion_fraction"] == 1.0, (
+        f"loop-on-packet left {1.0 - metrics['completion_fraction']:.3f} "
+        "of the workload unfinished"
+    )
+    assert not metrics["truncated"]
+    assert elapsed <= budget_seconds, (
+        f"loop-on-packet {LOOP_SCENARIO} took {elapsed:.1f}s "
+        f"(budget {budget_seconds:.0f}s)"
+    )
+    return {
+        "scenario": LOOP_SCENARIO,
+        "num_flows": metrics["num_flows"],
+        "mean_fct": metrics["mean_fct"],
+        "reconfigurations": metrics["reconfigurations"],
+        "seconds": elapsed,
+    }
+
+
 # --------------------------------------------------------------------------- #
-# pytest entry point (quick variant)
+# pytest entry points (quick variants)
 # --------------------------------------------------------------------------- #
 def test_thousand_flow_scenarios_finish_packetised_in_ci_time():
     row = check_scale(QUICK_FLOWS, QUICK_MEAN_MB, QUICK_BUDGET_SECONDS)
     assert row["num_flows"] >= 1000
+
+
+def test_loop_on_packet_finishes_in_ci_time():
+    row = check_loop_on_packet(LOOP_QUICK_OVERRIDES, LOOP_QUICK_BUDGET_SECONDS)
+    assert row["num_flows"] > 0
 
 
 # --------------------------------------------------------------------------- #
@@ -118,10 +166,13 @@ def main(argv=None):
     args = parser.parse_args(argv)
     if args.quick:
         num_flows, mean_mb, budget = QUICK_FLOWS, QUICK_MEAN_MB, QUICK_BUDGET_SECONDS
+        loop_overrides, loop_budget = LOOP_QUICK_OVERRIDES, LOOP_QUICK_BUDGET_SECONDS
     else:
         num_flows, mean_mb, budget = FULL_FLOWS, FULL_MEAN_MB, FULL_BUDGET_SECONDS
+        loop_overrides, loop_budget = LOOP_FULL_OVERRIDES, LOOP_FULL_BUDGET_SECONDS
     try:
         row = check_scale(num_flows, mean_mb, budget)
+        loop_row = check_loop_on_packet(loop_overrides, loop_budget)
     except AssertionError as error:
         print(f"FAIL: {error}", file=sys.stderr)
         return 1
@@ -131,6 +182,11 @@ def main(argv=None):
         f"drop fraction {row['drop_fraction']:.3f}, "
         f"{row['seconds']:.2f}s ({row['events_per_second']:.0f} events/s, "
         f"budget {budget:.0f}s)"
+    )
+    print(
+        f"loop-on-packet {loop_row['scenario']}: {loop_row['num_flows']} flows, "
+        f"{loop_row['reconfigurations']} reconfigurations, "
+        f"{loop_row['seconds']:.2f}s (budget {loop_budget:.0f}s)"
     )
     print("bench_packet_scale OK")
     return 0

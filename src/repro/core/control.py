@@ -7,13 +7,23 @@ scheduler (:mod:`repro.core.scheduler`), the reconfiguration planner
 (:mod:`repro.core.plp`) -- but the Figure 2 experiments drove them from a
 pre-scripted plan.  :class:`ControlLoop` instead runs as a periodic process
 on the discrete-event engine (:mod:`repro.sim.engine`), co-simulated in
-lock-step with the fluid flow simulator (:mod:`repro.sim.fluid`), and reacts
-to whatever the traffic actually does.
+lock-step with a *simulation backend*, and reacts to whatever the traffic
+actually does.
+
+The loop is backend-agnostic: it binds to anything exposing the fluid
+observation/actuation surface -- the fluid flow simulator
+(:mod:`repro.sim.fluid`) or the packet backend
+(:class:`repro.fabric.packetsim.PacketBackend`), whose per-port FIFO
+occupancy supplies the same instantaneous rate and demand signals.  On
+packets the loop's conclusions survive buffer and drop dynamics, which is
+where rack-scale latency predictability is actually decided; the
+fluid-vs-packet agreement is pinned per scenario by
+``tests/test_backend_fidelity.py``.
 
 Every tick the loop walks one lap of the ring:
 
 1. **observe** -- pull instantaneous link utilisation and per-flow state
-   from the fluid simulator, fold them into the fabric's EWMA-smoothed
+   from the simulation backend, fold them into the fabric's EWMA-smoothed
    :class:`~repro.phy.stats.LinkStatistics`, and record the headline
    series into a :class:`~repro.telemetry.collector.TelemetryCollector`;
 2. **price** -- refresh the :class:`~repro.core.cost.LinkPriceTagger` tags
@@ -29,7 +39,7 @@ Every tick the loop walks one lap of the ring:
    topology change;
 5. **actuate** -- execute an approved plan's PLP commands with their real
    delays: harvested capacity disappears immediately, new links join the
-   fluid model *disabled* until the batch's completion time, and active
+   simulation *disabled* until the batch's completion time, and active
    flows are rerouted both at the start of the transition (off links that
    shrank or vanished) and at its end (onto the freshly trained links).
 
@@ -42,7 +52,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, FrozenSet, List, Optional, Sequence, Tuple, Union
 
 from repro.core.cost import LinkPriceTagger, PriceWeights
 from repro.core.plp import PLPExecutor, PLPResult, ReconfigurationDelays
@@ -63,7 +73,18 @@ from repro.sim.trace import NullTrace, TraceRecorder
 from repro.sim.units import microseconds
 from repro.telemetry.collector import TelemetryCollector
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.fabric.packetsim import PacketBackend
+
 LinkKey = Tuple[str, str]
+
+#: Any simulation backend the loop can bind to: the fluid flow simulator or
+#: the packet backend.  Both expose the observation/actuation surface the
+#: loop consumes (``instantaneous_link_utilisation``/``..._load``,
+#: ``active_flows``, ``pending_demand_bits``, ``route_of``, ``links``,
+#: ``has_link``/``set_capacity``/``add_link``/``set_enabled``, ``reroute``
+#: and a resumable ``run(until)`` returning a truncation-aware result).
+SimulationBackend = Union[FluidFlowSimulator, "PacketBackend"]
 
 
 @dataclass
@@ -275,9 +296,10 @@ class GridToTorusCandidate(PlanCandidate):
 
 
 class ControlLoop:
-    """The closed-loop controller, bound to an engine and a fluid simulator.
+    """The closed-loop controller, bound to an engine and a simulation backend.
 
-    Typical use::
+    Typical use (the fluid backend; a
+    :class:`~repro.fabric.packetsim.PacketBackend` binds identically)::
 
         fabric = build_grid_fabric(3, 3, lanes_per_link=2)
         fluid = FluidFlowSimulator()
@@ -333,7 +355,7 @@ class ControlLoop:
         # Seeded at zero: an EWMA that adopts its first sample wholesale
         # would let a spike on the very first tick pass the spike filter.
         self.demand_ewma = EwmaEstimator(alpha=self.config.telemetry_alpha, initial=0.0)
-        self._fluid: Optional[FluidFlowSimulator] = None
+        self._sim: Optional[SimulationBackend] = None
         self._engine: Optional[Simulator] = None
         self._process: Optional[PeriodicProcess] = None
         self._transition_until: Optional[float] = None
@@ -347,16 +369,16 @@ class ControlLoop:
         """The event engine driving the loop's ticks (after :meth:`bind`)."""
         return self._engine
 
-    def bind(self, fluid: FluidFlowSimulator, engine: Optional[Simulator] = None) -> None:
-        """Attach the loop to *fluid*, scheduling its ticks on *engine*.
+    def bind(self, simulator: SimulationBackend, engine: Optional[Simulator] = None) -> None:
+        """Attach the loop to *simulator*, scheduling its ticks on *engine*.
 
         A fresh :class:`~repro.sim.engine.Simulator` is created when
         *engine* is omitted.  The first tick fires one interval in -- the
         loop observes traffic, it does not precede it.
         """
-        if self._fluid is not None:
+        if self._sim is not None:
             raise RuntimeError("ControlLoop is already bound")
-        self._fluid = fluid
+        self._sim = simulator
         self._engine = engine if engine is not None else Simulator()
         self._process = PeriodicProcess(
             self._engine,
@@ -368,12 +390,13 @@ class ControlLoop:
         self._process.start()
 
     def run(self, until: Optional[float] = None, max_ticks: int = 100_000) -> FluidResult:
-        """Co-simulate engine and fluid model until the workload drains.
+        """Co-simulate engine and simulation backend until the workload drains.
 
-        The fluid simulator is advanced to each engine event time before the
-        event (control tick or transition completion) executes, so every
-        tick observes traffic state at exactly its own timestamp and rate
-        re-convergence happens inside the fluid model between events.
+        The backend is advanced to each engine event time before the event
+        (control tick or transition completion) executes, so every tick
+        observes traffic state at exactly its own timestamp; between
+        events, rate re-convergence (fluid) or packet forwarding and
+        retransmission (packet backend) happens inside the backend.
 
         Parameters
         ----------
@@ -385,18 +408,18 @@ class ControlLoop:
             traffic has not drained (e.g. flows stalled on a partitioned
             fabric with no repair candidate).
         """
-        if self._fluid is None or self._engine is None or self._process is None:
+        if self._sim is None or self._engine is None or self._process is None:
             raise RuntimeError("bind() the loop to a fluid simulator first")
-        fluid, engine = self._fluid, self._engine
+        sim, engine = self._sim, self._engine
         events = 0
         while True:
             next_event = engine.peek()
             if next_event is None:
                 break
             if until is not None and next_event > until:
-                fluid.run(until=until)
+                sim.run(until=until)
                 break
-            if fluid.run(until=next_event).truncated:
+            if sim.run(until=next_event).truncated:
                 # The fluid model exhausted its event budget: its clock can
                 # no longer follow the engine's, so further control ticks
                 # would observe (and mutate against) frozen traffic state.
@@ -408,15 +431,15 @@ class ControlLoop:
             if self._drained():
                 break
         self._process.stop()
-        if until is not None and fluid.now < until:
-            fluid.run(until=until)
-        return fluid.run(until=fluid.now)
+        if until is not None and sim.now < until:
+            sim.run(until=until)
+        return sim.run(until=sim.now)
 
     def _drained(self) -> bool:
-        assert self._fluid is not None
+        assert self._sim is not None
         return (
-            not self._fluid.active_flows()
-            and self._fluid.pending_flow_count == 0
+            not self._sim.active_flows()
+            and self._sim.pending_flow_count == 0
             and self._transition_until is None
         )
 
@@ -424,11 +447,11 @@ class ControlLoop:
     # One lap around the ring
     # ------------------------------------------------------------------ #
     def _on_tick(self, now: float) -> None:
-        assert self._fluid is not None
-        fluid = self._fluid
+        assert self._sim is not None
+        sim = self._sim
 
         # 1. observe ---------------------------------------------------- #
-        raw_utilisation = self._canonical_utilisation(fluid)
+        raw_utilisation = self._canonical_utilisation(sim)
         raw_max = max(raw_utilisation.values()) if raw_utilisation else 0.0
         for key in self.fabric.topology.link_keys():
             link = self.fabric.topology.link_between(*key)
@@ -443,12 +466,12 @@ class ControlLoop:
             for key in self.fabric.topology.link_keys()
         }
         smoothed_max = max(smoothed.values()) if smoothed else 0.0
-        active = fluid.active_flows()
+        active = sim.active_flows()
         # Exact remaining demand at the tick instant: the fluid model
         # advances flow progress lazily from rate-change anchors, and
         # pending_demand_bits() evaluates the anchors at the current clock
         # rather than trusting whenever bits_remaining was last published.
-        pending_bits = fluid.pending_demand_bits()
+        pending_bits = sim.pending_demand_bits()
         self.demand_ewma.update(pending_bits)
         power = self.fabric.power_report().total_watts
         self.fabric.power_budget.record(now, power)
@@ -459,14 +482,14 @@ class ControlLoop:
         self.telemetry.record("fabric_power_watts", now, power)
 
         # 2. price ------------------------------------------------------ #
-        self.scheduler.sync_observed_load(fluid.instantaneous_link_load())
+        self.scheduler.sync_observed_load(sim.instantaneous_link_load())
         self.fabric.set_router_weight(self.tagger.weight_fn(smoothed))
 
         # 3. schedule (re-price active flows) --------------------------- #
         # A transition never ends on a tick: its completion runs as its own
         # engine event at priority -1, which fires before any same-time tick.
         exclude = frozenset(self._training_directed_keys())
-        rerouted = self._reprice_active_flows(fluid, exclude)
+        rerouted = self._reprice_active_flows(sim, exclude)
 
         # 4. plan + 5. actuate ------------------------------------------ #
         plans_evaluated = 0
@@ -488,7 +511,7 @@ class ControlLoop:
                     margin=self.config.break_even_margin,
                 ):
                     continue
-                self._apply_plan(now, candidate, proposal.plan, fluid)
+                self._apply_plan(now, candidate, proposal.plan, sim)
                 reconfigured = True
                 plan_name = proposal.plan.name
                 break  # at most one reconfiguration per tick
@@ -521,8 +544,8 @@ class ControlLoop:
     # ------------------------------------------------------------------ #
     # Observation helpers
     # ------------------------------------------------------------------ #
-    def _canonical_utilisation(self, fluid: FluidFlowSimulator) -> Dict[LinkKey, float]:
-        return merge_directed_values(fluid.instantaneous_link_utilisation())
+    def _canonical_utilisation(self, sim: SimulationBackend) -> Dict[LinkKey, float]:
+        return merge_directed_values(sim.instantaneous_link_utilisation())
 
     def _training_directed_keys(self) -> List[LinkKey]:
         keys: List[LinkKey] = []
@@ -536,7 +559,7 @@ class ControlLoop:
     # ------------------------------------------------------------------ #
     def _reprice_active_flows(
         self,
-        fluid: FluidFlowSimulator,
+        sim: SimulationBackend,
         exclude: FrozenSet[LinkKey],
         force_all: bool = False,
     ) -> int:
@@ -549,8 +572,8 @@ class ControlLoop:
         """
         moved = 0
         candidates: List[Tuple[float, int, List[str], float]] = []
-        for flow in fluid.active_flows():
-            current_keys = fluid.route_of(flow.flow_id)
+        for flow in sim.active_flows():
+            current_keys = sim.route_of(flow.flow_id)
             current_price = self._directed_price(current_keys)
             best = self.scheduler.cheapest_path(flow.src, flow.dst, exclude)
             if best is None:
@@ -559,7 +582,7 @@ class ControlLoop:
             new_keys = path_directed_keys(best_path)
             if new_keys == current_keys:
                 continue
-            if not all(fluid.has_link(key) for key in new_keys):
+            if not all(sim.has_link(key) for key in new_keys):
                 continue
             if force_all or (
                 math.isinf(current_price)
@@ -571,7 +594,7 @@ class ControlLoop:
         candidates.sort(key=lambda item: (-item[0], item[1]))
         limit = len(candidates) if force_all else self.config.max_reroutes_per_tick
         for _gain, flow_id, best_path, _price in candidates[:limit]:
-            fluid.reroute(flow_id, path_directed_keys(best_path))
+            sim.reroute(flow_id, path_directed_keys(best_path))
             moved += 1
         return moved
 
@@ -593,7 +616,7 @@ class ControlLoop:
         now: float,
         candidate: PlanCandidate,
         plan: ReconfigurationPlan,
-        fluid: FluidFlowSimulator,
+        sim: SimulationBackend,
     ) -> List[PLPResult]:
         """Execute *plan* and start its transition window.
 
@@ -632,13 +655,13 @@ class ControlLoop:
         # Every mutation goes through the simulator API, which feeds the
         # incremental allocator's dirty set (unchanged capacities are
         # no-ops, so the blanket push below re-solves only what moved).
-        before = set(fluid.links())
+        before = set(sim.links())
         for key, capacity in self.fabric.directed_capacities().items():
-            if fluid.has_link(key):
-                fluid.set_capacity(key, capacity)
+            if sim.has_link(key):
+                sim.set_capacity(key, capacity)
             else:
-                fluid.add_link(key, capacity)
-                fluid.set_enabled(key, False)
+                sim.add_link(key, capacity)
+                sim.set_enabled(key, False)
         canonical_new = sorted(
             {canonical_key(*key) for key in self.fabric.directed_capacities() if key not in before}
         )
@@ -648,12 +671,12 @@ class ControlLoop:
         # Flows whose route lost a link (or all capacity) must move now;
         # everyone else is re-priced on the next tick.
         exclude = frozenset(self._training_directed_keys())
-        for flow in fluid.active_flows():
-            keys = fluid.route_of(flow.flow_id)
+        for flow in sim.active_flows():
+            keys = sim.route_of(flow.flow_id)
             if math.isinf(self._directed_price(keys)):
                 best = self.scheduler.cheapest_path(flow.src, flow.dst, exclude)
                 if best is not None:
-                    fluid.reroute(flow.flow_id, path_directed_keys(best[0]))
+                    sim.reroute(flow.flow_id, path_directed_keys(best[0]))
 
         if self._engine is not None and completion > now:
             # Priority -1: a completion coinciding with a tick applies first,
@@ -677,27 +700,27 @@ class ControlLoop:
     def _on_transition_complete(self) -> None:
         assert self._engine is not None
         self._finish_transition(self._engine.now)
-        if self._fluid is not None:
+        if self._sim is not None:
             # The forced wave onto the freshly trained links counts toward
             # the loop's reroute total (it is usually the largest move of
             # the run), even though it happens between tick records.
             self.flows_rerouted_total += self._reprice_active_flows(
-                self._fluid, frozenset(), force_all=True
+                self._sim, frozenset(), force_all=True
             )
 
     def _finish_transition(self, now: float) -> None:
         """Enable trained links and close the transition window."""
-        if self._fluid is None or self._transition_until is None:
+        if self._sim is None or self._transition_until is None:
             return
         for a, b in self._training_links:
             for key in ((a, b), (b, a)):
-                if self._fluid.has_link(key):
-                    self._fluid.set_enabled(key, True)
+                if self._sim.has_link(key):
+                    self._sim.set_enabled(key, True)
         self._training_links = []
         self._transition_until = None
         for key, capacity in self.fabric.directed_capacities().items():
-            if self._fluid.has_link(key):
-                self._fluid.set_capacity(key, capacity)
+            if self._sim.has_link(key):
+                self._sim.set_capacity(key, capacity)
         self.fabric.invalidate_routes()
         self.trace.record(now, "reconfiguration_complete")
 

@@ -330,13 +330,16 @@ class LoopController(Controller):
         """The loop's per-tick telemetry collector."""
         return self.loop.telemetry if self.loop is not None else self._telemetry
 
-    def attach(self, simulator: FluidFlowSimulator) -> None:
+    def attach(self, simulator: object) -> None:
         """Build the loop against the loaded simulation and bind it.
 
-        Construction is deferred to attach time so the lifecycle matches
-        the original ``run_control_loop_experiment`` ordering exactly
-        (flows route first, then the loop binds) -- the parity tests pin
-        this.
+        *simulator* is either a fluid simulator or a
+        :class:`~repro.fabric.packetsim.PacketBackend`; the loop binds to
+        both through the same backend surface
+        (:data:`~repro.core.control.SimulationBackend`).  Construction is
+        deferred to attach time so the lifecycle matches the original
+        ``run_control_loop_experiment`` ordering exactly (flows route
+        first, then the loop binds) -- the parity tests pin this.
         """
         super().attach(simulator)
         assert self._fabric is not None, "prepare() must run before attach()"
@@ -358,7 +361,7 @@ class LoopController(Controller):
         self.loop.bind(simulator)
 
     def run(self, until: Optional[float] = None) -> FluidResult:
-        """Co-simulate the engine and the fluid model in lock-step."""
+        """Co-simulate the engine and the simulation backend in lock-step."""
         if self.loop is None:
             raise RuntimeError("attach() the controller to a simulator first")
         return self.loop.run(until=until)

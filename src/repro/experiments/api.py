@@ -25,7 +25,6 @@ from typing import Dict, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.core.controllers import (
     Controller,
-    ControllerError,
     ControllerSummary,
     create_controller,
 )
@@ -133,9 +132,9 @@ class ExperimentSpec:
         flows, windowed injection, per-port FIFO buffers with tail-drop
         and retransmission).  Both return the same ``RunRecord`` metrics
         schema; the packet backend adds packet-only metrics (drop
-        fraction, retransmitted bits, p99 queueing delay).
-        ``controller="loop"`` co-simulates with the fluid internals and is
-        rejected on the packet backend.
+        fraction, retransmitted bits, p99 queueing delay).  Every
+        controller, including ``"loop"``, runs on both backends; the
+        loop co-simulates with whichever backend the spec selects.
     transport:
         Optional :class:`~repro.sim.transport.TransportConfig` for the
         packet backend (MTU, window, retransmit backoff); ignored by the
@@ -344,12 +343,6 @@ def run_experiment(spec: ExperimentSpec) -> RunRecord:
     if spec.backend not in BACKENDS:
         raise ValueError(
             f"backend must be one of {BACKENDS}, got {spec.backend!r}"
-        )
-    if spec.backend == "packet" and spec.controller == "loop":
-        raise ControllerError(
-            "controller 'loop' co-simulates with the fluid simulator's "
-            "internals and is not available on the packet backend; use "
-            "controller='crc' for adaptive control over packets"
         )
     fabric = spec.fabric.build() if isinstance(spec.fabric, FabricSpec) else spec.fabric
     controller = create_controller(spec.controller, spec.controller_config)

@@ -26,7 +26,6 @@ from typing import Dict, List, Mapping, Optional
 from repro.experiments.api import ExperimentSpec, RunRecord, run_experiment
 from repro.experiments.scenarios import (
     Scenario,
-    ScenarioError,
     controller_config_from_params,
     derive_run_seed,
     get_scenario,
@@ -38,11 +37,11 @@ from repro.experiments.scenarios import (
 COMPARISON_LABELS = ("static", "ecmp", "adaptive")
 
 #: Registered controller behind each comparison label.  The adaptive leg
-#: is the closed control loop on the fluid backend; on the packet backend
-#: (``backend="packet"``), where the loop cannot co-simulate, the scripted
-#: Closed Ring Control takes the adaptive slot instead.
+#: is the closed control loop on *both* backends: the loop co-simulates
+#: with whichever backend the scenario's ``backend`` parameter selects
+#: (``tests/test_backend_fidelity.py`` pins how far the two backends'
+#: loop-controlled headline numbers may diverge).
 CONTROLLER_BY_LABEL = {"static": "static", "ecmp": "ecmp", "adaptive": "loop"}
-PACKET_CONTROLLER_BY_LABEL = {"static": "static", "ecmp": "ecmp", "adaptive": "crc"}
 
 
 def _result_row(label: str, record: RunRecord) -> Dict[str, object]:
@@ -81,8 +80,8 @@ def adaptive_vs_static(
     id counter reset, so all three controllers serve bit-identical
     workloads (and identical failure plans, when the scenario declares
     one).  The ``backend`` parameter selects the simulation backend for
-    all three legs; under ``backend="packet"`` the adaptive leg runs the
-    scripted CRC (see :data:`PACKET_CONTROLLER_BY_LABEL`).
+    all three legs; the controller-to-label mapping is the same on both
+    backends (see :data:`CONTROLLER_BY_LABEL`).
     """
     if isinstance(scenario, str):
         scenario = get_scenario(scenario)
@@ -92,19 +91,10 @@ def adaptive_vs_static(
     seed = derive_run_seed(base_seed, scenario.name, params)
 
     backend = str(params["backend"])
-    by_label = CONTROLLER_BY_LABEL if backend == "fluid" else PACKET_CONTROLLER_BY_LABEL
-    if backend != "fluid" and params["topology"] != "grid":
-        # The packet adaptive leg is the CRC, whose grid-to-torus move only
-        # makes sense from a grid -- the same constraint resolve_params
-        # enforces for an explicit controller="crc" run.
-        raise ScenarioError(
-            "backend='packet' comparisons run controller='crc' as the "
-            "adaptive leg and require topology='grid'"
-        )
     rows: List[Dict[str, object]] = []
     for label in COMPARISON_LABELS:
         fabric, flows, failure_events = materialize_run(scenario, params, seed)
-        controller = by_label[label]
+        controller = CONTROLLER_BY_LABEL[label]
         record = run_experiment(
             ExperimentSpec(
                 fabric=fabric,

@@ -291,11 +291,6 @@ def resolve_params(
             f"controller must be one of {sorted(controller_names())}, "
             f"got {params['controller']!r}"
         )
-    if params["backend"] == "packet" and params["controller"] == "loop":
-        raise ScenarioError(
-            "controller='loop' co-simulates with the fluid simulator and "
-            "is not available on backend='packet'; use controller='crc'"
-        )
     if params["controller"] == "crc" and params["topology"] != "grid":
         raise ScenarioError(
             "controller='crc' drives the grid-to-torus reconfiguration "

@@ -41,7 +41,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, replace
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -120,6 +120,11 @@ class PacketLevelNetwork:
         self.ecn_threshold = ecn_threshold
         self.record_hops = record_hops
         self.retain_packets = retain_packets
+        #: Directed links administratively disabled (e.g. created by a
+        #: reconfiguration batch and still training): everything offered to
+        #: them is dropped, the packet analogue of the fluid model's
+        #: zero-effective-capacity disabled links.
+        self.disabled_links: Set[DirectedKey] = set()
         self._ports: Dict[DirectedKey, PortState] = {}
         self.delivered: List[Packet] = []
         self.dropped: List[Packet] = []
@@ -152,6 +157,43 @@ class PacketLevelNetwork:
             )
             self._ports[key] = port
         return port
+
+    def sync_port_capacity(self, key: DirectedKey, capacity_bps: float) -> None:
+        """Reshape one port's drain schedule for a live capacity change.
+
+        The bits already accepted into the FIFO keep their volume, but the
+        time they need to drain changes with the service rate -- so the
+        backlog's drain deadline (``busy_until``) is rescaled *at the
+        mutation instant*, not lazily whenever the next packet happens to
+        arrive at the port.  This is what makes mid-run ``set_capacity``/
+        ``add_link`` (PLP reconfiguration batches, failure-plan mutations)
+        first-class: the very next arrival -- and any drain-time query --
+        sees the reshaped backlog, which changes queueing, tail-drop and
+        ECN decisions from the mutation onward.
+
+        A port whose capacity drops to zero keeps its drain deadline: the
+        packets it already accepted have their departure events on the
+        calendar and complete on the old schedule, while new arrivals are
+        dropped by the zero-capacity check.
+        """
+        port = self._ports.get(key)
+        if port is None:
+            a, b = key
+            if not self.fabric.topology.has_link(a, b):
+                return  # nothing routed here yet and no live link to seed from
+            port = self._port(key)
+        now = self.simulator.now
+        remaining = port.busy_until - now
+        if remaining > 0.0 and port.capacity_bps > 0.0 and capacity_bps > 0.0:
+            port.busy_until = now + remaining * (port.capacity_bps / capacity_bps)
+        port.capacity_bps = capacity_bps
+
+    def port_drain_time(self, key: DirectedKey) -> float:
+        """Seconds until the port's accepted backlog has fully drained."""
+        port = self._ports.get(key)
+        if port is None:
+            return 0.0
+        return max(0.0, port.busy_until - self.simulator.now)
 
     def port_stats(self) -> Dict[DirectedKey, PortState]:
         """Snapshot of per-directed-link transmitter statistics.
@@ -212,6 +254,9 @@ class PacketLevelNetwork:
         capacity = link.capacity_bps
         if capacity <= 0:
             self._drop(packet, port, here, nxt, f"link {here}->{nxt} has no active capacity")
+            return
+        if key in self.disabled_links:
+            self._drop(packet, port, here, nxt, f"link {here}->{nxt} is disabled")
             return
         if capacity != port.capacity_bps:
             # The link was reconfigured: the bits already accepted must keep
@@ -349,18 +394,23 @@ class PacketBackend:
     and exposes the subset of the
     :class:`~repro.sim.fluid.FluidFlowSimulator` API that controllers and
     the failure injector consume -- ``add_controller``,
-    ``instantaneous_link_utilisation``, ``active_flows``,
-    ``pending_demand_bits``, ``has_link``/``set_capacity``/``add_link``
-    and ``reroute`` -- so ``controller="crc"`` and scenario failure plans
-    run unchanged against packets.  (``controller="loop"`` co-simulates
-    with the fluid model's internals and stays fluid-only;
-    :func:`repro.experiments.api.run_experiment` rejects the combination.)
+    ``instantaneous_link_utilisation``/``instantaneous_link_load``,
+    ``active_flows``, ``pending_demand_bits``, ``route_of``, ``links``,
+    ``has_link``/``set_capacity``/``add_link``/``set_enabled`` and
+    ``reroute`` -- so ``controller="crc"``, the closed-loop
+    ``controller="loop"`` runtime and scenario failure plans all run
+    unchanged against packets.
 
     Flows are routed at construction time on the fabric's router (after
     the controller's ``prepare`` step), matching the fluid backend's
-    route-at-load-time contract; capacity mutations made through this
-    facade only feed the utilisation/report integrals, because the network
-    reads link capacities live from the fabric on every forward.
+    route-at-load-time contract.  Capacity mutations made through this
+    facade are pushed eagerly into the per-port transmitter state
+    (:meth:`PacketLevelNetwork.sync_port_capacity`): FIFO drain deadlines
+    reshape at the mutation instant, so PLP reconfiguration batches and
+    failure-plan mutations change queueing, tail-drop and ECN behaviour
+    mid-run -- not just the report integrals.  The network's lazy
+    fabric-read in ``_forward`` remains as a backstop for mutations made
+    directly on the fabric without notifying the backend.
 
     ``run()`` returns a :class:`~repro.sim.fluid.FluidResult` with
     ``allocator="packet"`` -- one result schema across backends is what
@@ -401,6 +451,7 @@ class PacketBackend:
         self._truncated = False
         # Capacity view: utilisation denominators and report integrals.
         self._capacities: Dict[DirectedKey, float] = dict(fabric.directed_capacities())
+        self._disabled: Set[DirectedKey] = set()
         self._capacity_seconds: Dict[DirectedKey, float] = {
             key: 0.0 for key in self._capacities
         }
@@ -448,27 +499,64 @@ class PacketBackend:
         """Whether a directed link with *key* is known to the backend."""
         return key in self._capacities
 
+    def links(self) -> Dict[DirectedKey, float]:
+        """Known directed links and their recorded capacities.
+
+        The fluid API's ``links()`` analogue; the control loop keys on
+        membership to tell pre-existing links from ones a reconfiguration
+        batch just created.
+        """
+        return dict(self._capacities)
+
     def set_capacity(self, key: DirectedKey, capacity_bps: float) -> None:
-        """Record a capacity change (the network reads the fabric live)."""
+        """Apply a capacity change to the live per-port transmitter state.
+
+        The port's FIFO drain deadline is rescaled at this instant
+        (queued bits are conserved, their drain time changes with the
+        service rate), so queueing, tail-drop and ECN decisions feel the
+        change immediately -- see
+        :meth:`PacketLevelNetwork.sync_port_capacity`.
+        """
         if capacity_bps < 0:
             raise ValueError(f"capacity must be >= 0, got {capacity_bps!r}")
         if key not in self._capacities:
             raise KeyError(f"unknown link {key!r}")
         self._integrate_capacities()
         self._capacities[key] = capacity_bps
+        self.network.sync_port_capacity(key, capacity_bps)
 
     def add_link(self, key: DirectedKey, capacity_bps: float) -> None:
-        """Register a link created mid-run (e.g. by a reconfiguration)."""
+        """Register a link created mid-run (e.g. by a reconfiguration).
+
+        The port is materialised eagerly at the new link's rate, so
+        drain-time queries and the first arrival's occupancy check see it
+        without waiting for a lazy fabric read.
+        """
         self._integrate_capacities()
         self._capacities[key] = capacity_bps
         self._capacity_seconds.setdefault(key, 0.0)
         self._sample_bits.setdefault(key, 0.0)
         self._last_utilisation.setdefault(key, 0.0)
+        self.network.sync_port_capacity(key, capacity_bps)
 
     def set_enabled(self, key: DirectedKey, enabled: bool) -> None:
-        """Compatibility no-op bookkeeping: a disabled link reports zero
-        capacity through the fabric, which the network reads live."""
+        """Enable or disable a directed link for the packet network.
+
+        A disabled link drops everything offered to it and contributes no
+        capacity to the utilisation/report integrals -- the packet
+        analogue of the fluid model's zero-effective-capacity disabled
+        state.  The control loop disables links a reconfiguration batch
+        just created until their training window completes.
+        """
+        if key not in self._capacities:
+            raise KeyError(f"unknown link {key!r}")
         self._integrate_capacities()
+        if enabled:
+            self._disabled.discard(key)
+            self.network.disabled_links.discard(key)
+        else:
+            self._disabled.add(key)
+            self.network.disabled_links.add(key)
 
     def active_flows(self) -> List[Flow]:
         """Flows that have started and not yet finished."""
@@ -498,13 +586,64 @@ class PacketBackend:
         path = [str(keys[0][0])] + [str(b) for _a, b in keys]
         self.transport.reroute(flow_id, path)
 
+    def route_of(self, flow_id: int) -> List[DirectedKey]:
+        """Directed-key route the remaining segments of a flow will take."""
+        path = self.transport.state_of(flow_id).path
+        return [(path[i], path[i + 1]) for i in range(len(path) - 1)]
+
+    def instantaneous_link_load(self) -> Dict[DirectedKey, float]:
+        """True instantaneous per-link rate (bps), from port occupancy.
+
+        A work-conserving FIFO transmitter serves at exactly its link
+        rate while it holds backlog (``busy_until > now``) and at zero
+        otherwise -- there is no in-between at a single instant.  This is
+        the packet-level ground truth behind the fluid model's
+        ``instantaneous_link_load`` (the sum of flow rates crossing the
+        link), derived from in-flight packet occupancy rather than a
+        since-last-observation window.
+        """
+        now = self.simulator.now
+        ports = self.network._ports
+        load: Dict[DirectedKey, float] = {}
+        for key, capacity in self._capacities.items():
+            if capacity <= 0.0 or key in self._disabled:
+                load[key] = 0.0
+                continue
+            port = ports.get(key)
+            load[key] = capacity if port is not None and port.busy_until > now else 0.0
+        return load
+
     def instantaneous_link_utilisation(self) -> Dict[DirectedKey, float]:
+        """True instantaneous utilisation: 1.0 while a port holds backlog.
+
+        Derived from in-flight packet occupancy at the current instant
+        (``busy_until > now``), exactly like
+        :meth:`instantaneous_link_load`; controllers EWMA-smooth these
+        samples into a duty-cycle estimate, the same way they smooth the
+        fluid model's instantaneous rates.  The previous behaviour --
+        bits sent since the last observation over the window's capacity
+        -- remains available as :meth:`windowed_link_utilisation`.
+        """
+        now = self.simulator.now
+        ports = self.network._ports
+        utilisation: Dict[DirectedKey, float] = {}
+        for key, capacity in self._capacities.items():
+            if capacity <= 0.0 or key in self._disabled:
+                utilisation[key] = 0.0
+                continue
+            port = ports.get(key)
+            utilisation[key] = (
+                1.0 if port is not None and port.busy_until > now else 0.0
+            )
+        return utilisation
+
+    def windowed_link_utilisation(self) -> Dict[DirectedKey, float]:
         """Per-directed-link utilisation over the window since the last call.
 
-        Packet transmission is bursty at any single instant, so the
-        packet backend reports bits sent since the previous observation
-        divided by the link's capacity over that window -- the natural
-        packet-level analogue of the fluid model's instantaneous rates.
+        Bits sent since the previous observation divided by the link's
+        capacity over that window -- an average, not an instantaneous
+        value, which is why controllers observe
+        :meth:`instantaneous_link_utilisation` instead.
         """
         now = self.simulator.now
         elapsed = now - self._sample_time
@@ -566,7 +705,7 @@ class PacketBackend:
         elapsed = now - self._integrated_until
         if elapsed > 0.0:
             for key, capacity in self._capacities.items():
-                if capacity > 0.0:
+                if capacity > 0.0 and key not in self._disabled:
                     self._capacity_seconds[key] += capacity * elapsed
         self._integrated_until = now
 
@@ -593,7 +732,11 @@ class PacketBackend:
             trace=self.trace,
             link_capacity_seconds={
                 key: self._capacity_seconds[key]
-                + (self._capacities[key] * idle_gap if idle_gap > 0 else 0.0)
+                + (
+                    self._capacities[key] * idle_gap
+                    if idle_gap > 0 and key not in self._disabled
+                    else 0.0
+                )
                 for key in self._capacities
             },
             truncated=self._truncated,

@@ -6,7 +6,9 @@ question with real per-port FIFO buffers, tail-drops and retransmission.
 The paper's conclusions must not depend on which abstraction we picked, so
 this suite runs **every small registered scenario** under
 ``{none, static, ecmp, crc}`` on *both* backends over bit-identical
-workloads and pins how far the headline numbers may diverge:
+workloads -- plus the closed control loop (``controller="loop"``) on the
+three dynamic scenarios it was built for -- and pins how far the headline
+numbers may diverge:
 
 * ``mean_fct`` within a declared per-scenario relative tolerance,
 * mean link utilisation within a declared per-scenario relative tolerance,
@@ -49,8 +51,10 @@ BASE_OVERRIDES = {"mean_flow_mb": 0.05}
 #: without touching the workload itself.
 JUMBO_TRANSPORT = TransportConfig(mtu_bytes=9000.0)
 
-#: Controllers every scenario is gated under (the packet-capable set; the
-#: fluid-only ``loop`` controller is covered by its rejection test below).
+#: Controllers every scenario is gated under.  The closed control loop is
+#: gated separately (:data:`LOOP_TOLERANCES`) on the dynamic scenarios it
+#: defaults on, rather than on every scenario: one loop leg co-simulates a
+#: whole control stack and would dominate the suite's runtime.
 CONTROLLERS = ("none", "static", "ecmp", "crc")
 
 #: Declared per-scenario divergence budgets: (mean-FCT relative tolerance,
@@ -81,6 +85,18 @@ TOLERANCES = {
 #: exactly by segmentation; only packets dropped mid-path (after having
 #: consumed upstream link capacity) may inflate the packet side.
 BITS_RATIO_BOUNDS = (0.98, 1.10)
+
+#: Declared loop-controller divergence budgets over the dynamic scenarios
+#: (same columns as :data:`TOLERANCES`).  The loop observes each backend's
+#: own instantaneous telemetry -- occupancy-derived 0/1 rates on packet
+#: versus exact max-min rates on fluid -- so its reroute instants differ
+#: and the envelope is wider than the open-loop controllers'; measured
+#: divergence with ~1.5-2x headroom, same review rule as TOLERANCES.
+LOOP_TOLERANCES = {
+    "hotspot_migration": (0.40, 0.35),
+    "load_shift_uniform_to_permutation": (0.25, 0.60),
+    "failure_recovery": (0.10, 0.10),
+}
 
 
 def small_scenarios():
@@ -138,19 +154,8 @@ def test_every_small_scenario_declares_a_tolerance():
 # --------------------------------------------------------------------------- #
 # The gate: agreement within declared tolerances
 # --------------------------------------------------------------------------- #
-@pytest.mark.parametrize(
-    "name,controller",
-    [
-        (scenario.name, controller)
-        for scenario in small_scenarios()
-        for controller in CONTROLLERS
-    ],
-)
-def test_backends_agree_within_declared_tolerance(name, controller):
-    scenario = get_scenario(name)
-    fluid = _run(scenario, controller, "fluid")
-    packet = _run(scenario, controller, "packet")
-
+def _assert_backends_agree(name, controller, fluid, packet, fct_tol, util_tol):
+    """The shared agreement contract for one (scenario, controller) pair."""
     # Identical workloads reached both backends.
     assert packet.metrics["num_flows"] == fluid.metrics["num_flows"]
     assert packet.metrics["total_bits"] == fluid.metrics["total_bits"]
@@ -161,7 +166,6 @@ def test_backends_agree_within_declared_tolerance(name, controller):
     assert packet.metrics["completion_fraction"] == 1.0
     assert not packet.metrics["truncated"]
 
-    fct_tol, util_tol = TOLERANCES[name]
     mean_fct_fluid = fluid.metrics["mean_fct"]
     mean_fct_packet = packet.metrics["mean_fct"]
     rel_fct = abs(mean_fct_packet - mean_fct_fluid) / mean_fct_fluid
@@ -206,37 +210,72 @@ def test_backends_agree_within_declared_tolerance(name, controller):
         assert packet.metrics["retransmissions"] > 0
 
 
-def test_loop_controller_is_rejected_on_the_packet_backend():
-    from repro.core.controllers import ControllerError
-    from repro.experiments.scenarios import ScenarioError, run_scenario
+@pytest.mark.parametrize(
+    "name,controller",
+    [
+        (scenario.name, controller)
+        for scenario in small_scenarios()
+        for controller in CONTROLLERS
+    ],
+)
+def test_backends_agree_within_declared_tolerance(name, controller):
+    scenario = get_scenario(name)
+    fluid = _run(scenario, controller, "fluid")
+    packet = _run(scenario, controller, "packet")
+    fct_tol, util_tol = TOLERANCES[name]
+    _assert_backends_agree(name, controller, fluid, packet, fct_tol, util_tol)
+
+
+@pytest.mark.parametrize("name", sorted(LOOP_TOLERANCES))
+def test_loop_controller_backends_agree(name):
+    """The closed control loop is a first-class citizen of the packet
+    backend: it co-simulates against real FIFO/drop dynamics and its
+    headline numbers stay inside the declared envelope of the fluid run."""
+    scenario = get_scenario(name)
+    fluid = _run(scenario, "loop", "fluid")
+    packet = _run(scenario, "loop", "packet")
+    fct_tol, util_tol = LOOP_TOLERANCES[name]
+    _assert_backends_agree(name, "loop", fluid, packet, fct_tol, util_tol)
+
+
+def test_loop_controller_is_accepted_on_the_packet_backend():
+    """Both rejection layers of the old fluid-only loop are gone: the api
+    entrypoint and the scenario layer run controller='loop' on
+    backend='packet' end to end."""
+    from repro.experiments.scenarios import run_scenario
 
     scenario = get_scenario("uniform-burst")
     params = resolve_params(scenario, dict(BASE_OVERRIDES))
     seed = derive_run_seed(0, scenario.name, params)
     fabric, flows, _ = materialize_run(scenario, params, seed)
-    with pytest.raises(ControllerError, match="packet"):
-        run_experiment(
-            ExperimentSpec(
-                fabric=fabric, flows=flows, controller="loop", backend="packet"
-            )
+    record = run_experiment(
+        ExperimentSpec(
+            fabric=fabric, flows=flows, controller="loop", backend="packet"
         )
-    # The scenario layer rejects the combination before anything runs.
-    with pytest.raises(ScenarioError, match="packet"):
-        run_scenario("hotspot_migration", {"backend": "packet"})
+    )
+    assert record.metrics["backend"] == "packet"
+    assert record.metrics["completion_fraction"] == 1.0
+
+    row = run_scenario(
+        "hotspot_migration", dict(BASE_OVERRIDES, backend="packet")
+    )
+    assert row["params"]["controller"] == "loop"
+    assert row["metrics"]["backend"] == "packet"
+    assert row["metrics"]["completion_fraction"] == 1.0
 
 
-def test_packet_comparison_requires_a_grid():
-    """The packet comparison's adaptive leg is the CRC; substituting it
-    must not bypass the grid-only constraint every other entrypoint
-    enforces for controller='crc'."""
-    from repro.experiments.comparison import adaptive_vs_static
-    from repro.experiments.scenarios import ScenarioError
+def test_packet_comparison_adaptive_leg_is_the_loop():
+    """The comparison runs the same controller per label on both backends;
+    in particular the adaptive leg is the closed loop even off-grid (the
+    old packet comparison substituted the grid-only CRC here)."""
+    from repro.experiments.comparison import COMPARISON_LABELS, adaptive_vs_static
 
-    with pytest.raises(ScenarioError, match="grid"):
-        adaptive_vs_static(
-            "uniform-burst",
-            {"topology": "torus", "backend": "packet", "mean_flow_mb": 0.05},
-        )
+    rows = adaptive_vs_static(
+        "uniform-burst",
+        {"topology": "torus", "backend": "packet", "mean_flow_mb": 0.05},
+    )
+    assert [row["label"] for row in rows] == list(COMPARISON_LABELS)
+    assert all(row["completion_fraction"] == 1.0 for row in rows)
 
 
 def test_unknown_backend_is_rejected():
@@ -261,6 +300,16 @@ def test_packet_backend_is_bit_deterministic_run_to_run():
     assert first.metrics == second.metrics
 
 
+def test_loop_on_packet_is_bit_deterministic_run_to_run():
+    """The co-simulated control loop adds its own engine, EWMA state and
+    PLP transitions on top of the packet backend; none of it may introduce
+    run-to-run nondeterminism (reroute instants included)."""
+    scenario = get_scenario("hotspot_migration")  # reroutes + a PLP candidate
+    first = _run(scenario, "loop", "packet")
+    second = _run(scenario, "loop", "packet")
+    assert first.metrics == second.metrics
+
+
 def test_packet_sweep_rows_are_identical_for_any_worker_count():
     """The acceptance property: a packet-backend sweep is a pure function
     of its configuration, so worker fan-out cannot change a row."""
@@ -282,3 +331,28 @@ def test_packet_sweep_rows_are_identical_for_any_worker_count():
     assert all(
         math.isfinite(row["metrics"]["p99_queueing_delay"]) for row in serial
     )
+
+
+def test_loop_on_packet_sweep_rows_are_identical_for_any_worker_count():
+    """Same acceptance property for controller='loop' packet rows: the
+    loop's co-simulation is a pure function of the run's configuration."""
+    # Not failure_recovery: the sweep's fabric-state row needs live links,
+    # and the shrunk workload drains before the scenario's restore event
+    # (a run_scenario limitation that predates loop-on-packet and applies
+    # to both backends equally).
+    kwargs = dict(
+        scenarios=["hotspot_migration", "load_shift_uniform_to_permutation"],
+        grid={
+            "backend": ["packet"],
+            "controller": ["loop"],
+            "mean_flow_mb": [0.05],
+        },
+        base_seed=7,
+    )
+    serial = run_sweep(workers=1, **kwargs)
+    parallel = run_sweep(workers=2, **kwargs)
+    assert [strip_timing(row) for row in serial] == [
+        strip_timing(row) for row in parallel
+    ]
+    assert all(row["params"]["controller"] == "loop" for row in serial)
+    assert all(row["metrics"]["backend"] == "packet" for row in serial)

@@ -6,10 +6,11 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.core.control import ControlLoop, ControlLoopConfig, GridToTorusCandidate
 from repro.core.cost import LinkPriceTagger
 from repro.core.reconfiguration import break_even_flow_size, reconfiguration_gain
 from repro.fabric.fabric import Fabric, FabricConfig
-from repro.fabric.packetsim import PacketLevelNetwork
+from repro.fabric.packetsim import PacketBackend, PacketLevelNetwork
 from repro.fabric.switch import SwitchModel
 from repro.fabric.topology import TopologyBuilder
 from repro.phy.fec import FEC_BASE_R, FEC_LDPC, FEC_RS528, FEC_RS544, STANDARD_FEC_SCHEMES
@@ -19,6 +20,7 @@ from repro.sim.flow import Flow
 from repro.sim.fluid import FluidFlowSimulator
 from repro.sim.packet import Packet
 from repro.sim.random import RandomStreams
+from repro.sim.transport import TransportConfig
 from repro.sim.units import bits_from_bytes
 from repro.telemetry.metrics import jain_fairness_index
 
@@ -221,6 +223,87 @@ def test_packet_delay_breakdown_sums_to_latency(shape, draws):
         breakdown = packet.delay_breakdown()
         assert sum(breakdown.values()) == pytest.approx(packet.latency, rel=1e-9)
         assert breakdown["queueing"] == pytest.approx(packet.queueing_seconds, rel=1e-9)
+
+
+#: One random flow draw for the loop-on-packet conservation property:
+#: (src pick, dst pick, size bits, start time).
+_loop_flow_draws = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=10 ** 6),
+        st.integers(min_value=0, max_value=10 ** 6),
+        st.floats(min_value=2_000.0, max_value=150_000.0, allow_nan=False),
+        st.floats(min_value=0.0, max_value=3e-5, allow_nan=False),
+    ),
+    min_size=2,
+    max_size=8,
+)
+
+
+@settings(max_examples=15, deadline=None)
+@given(_loop_flow_draws, st.floats(min_value=0.05, max_value=1.0))
+def test_packet_conservation_holds_while_the_loop_mutates(draws, horizon_fraction):
+    """entered == delivered + dropped + in-flight at any run(until) cut of a
+    co-simulated loop-on-packet run -- while the ControlLoop reroutes flows
+    and commits PLP batches (capacity changes, new wrap-around links,
+    training windows) against the live packet network."""
+    fabric = Fabric(
+        TopologyBuilder(lanes_per_link=2).grid(2, 3),
+        FabricConfig(switch_model=SwitchModel(buffer_bits=bits_from_bytes(9000))),
+    )
+    endpoints = fabric.topology.endpoints()
+    flows = []
+    for src_pick, dst_pick, size_bits, start_time in draws:
+        src = endpoints[src_pick % len(endpoints)]
+        dst = endpoints[dst_pick % len(endpoints)]
+        if src == dst:
+            dst = endpoints[(dst_pick + 1) % len(endpoints)]
+            if src == dst:
+                continue
+        flows.append(Flow(src, dst, size_bits=size_bits, start_time=start_time))
+    if not flows:
+        return
+    backend = PacketBackend(
+        fabric,
+        flows,
+        transport=TransportConfig(window_packets=4, retransmit_delay=1e-6),
+    )
+    loop = ControlLoop(
+        fabric,
+        candidates=[GridToTorusCandidate(2, 3)],
+        # An eager configuration so reroutes and the PLP batch actually
+        # fire inside these short runs.
+        config=ControlLoopConfig(
+            interval=5e-6,
+            utilisation_threshold=0.05,
+            hysteresis=1.0,
+            break_even_margin=1.0,
+            min_reconfiguration_interval=1e-5,
+        ),
+    )
+    loop.bind(backend)
+    network = backend.network
+
+    loop.run(until=horizon_fraction * 2e-4)
+    assert network.packets_entered == (
+        network.delivered_count + network.dropped_count + network.in_flight
+    )
+    assert network.packets_entered <= network.packets_injected
+
+    # The loop stops once the transport is done; a flow abandoned at
+    # max_attempts may still leave a final delivery event on the calendar,
+    # so conservation must hold here too ...
+    loop.run()
+    assert network.packets_entered == (
+        network.delivered_count + network.dropped_count + network.in_flight
+    )
+    # ... and settle exactly once the calendar drains.
+    backend.simulator.drain()
+    assert network.in_flight == 0
+    assert network.packets_entered == (
+        network.delivered_count + network.dropped_count
+    )
+    # No duplicate payload: retransmission only replaces dropped segments.
+    assert network.bits_delivered <= sum(f.size_bits for f in flows) * (1 + 1e-9)
 
 
 # --------------------------------------------------------------------------- #
