@@ -145,6 +145,14 @@ class ExperimentSpec:
         recompute per event, the parity oracle).  Both are bit-identical;
         see :mod:`repro.sim.fluid`.  Fluid backend only (the packet
         backend does not allocate rates).
+    engine:
+        Packet execution engine: ``"event"`` (one calendar event per
+        packet-hop, the parity oracle and the default) or ``"batched"``
+        (segment trains advanced port-at-a-time, same-instant injections
+        coalesced; see :mod:`repro.sim.packet_batch`).  Both are
+        bit-identical -- ``tests/test_packet_parity.py`` pins every
+        metric -- so ``"batched"`` is a pure speedup.  Packet backend
+        only (the fluid backend selects its engine via ``allocator``).
     max_events:
         Cumulative event budget for the whole run (fluid events, or packet
         backend engine events); an exhausted budget surfaces as
@@ -165,6 +173,7 @@ class ExperimentSpec:
     backend: str = "fluid"
     transport: Optional[TransportConfig] = None
     allocator: str = "incremental"
+    engine: str = "event"
     max_events: int = 10_000_000
 
     def provenance(self) -> Dict[str, object]:
@@ -186,6 +195,7 @@ class ExperimentSpec:
             "backend": self.backend,
             "transport": _jsonable(self.transport) if self.transport is not None else None,
             "allocator": self.allocator,
+            "engine": self.engine,
             "max_events": self.max_events,
         }
 
@@ -308,9 +318,12 @@ def _build_packet(
     failure_events: Optional[Sequence[FailureEvent]],
     failure_period: float,
     max_events: int = 10_000_000,
+    engine: str = "event",
 ) -> Tuple[PacketBackend, Optional[FailureInjector]]:
     """Packet backend preloaded with routed flows and the failure plan."""
-    backend = PacketBackend(fabric, flows, transport=transport, max_events=max_events)
+    backend = PacketBackend(
+        fabric, flows, transport=transport, max_events=max_events, engine=engine
+    )
     injector: Optional[FailureInjector] = None
     if failure_events:
         injector = FailureInjector(fabric, failure_events)
@@ -356,6 +369,7 @@ def run_experiment(spec: ExperimentSpec) -> RunRecord:
             spec.failures or None,
             spec.failure_period,
             max_events=spec.max_events,
+            engine=spec.engine,
         )
     else:
         simulator, _ = _build_fluid(

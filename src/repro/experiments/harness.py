@@ -218,10 +218,17 @@ def fabric_state_row(fabric: Fabric, packet_size_bytes: float = 1500.0) -> Dict[
 
     # Per-link latency increment (propagation + PHY) and first-hop
     # serialization, plus per-node forwarding latency, precomputed once.
+    # Dark links (every lane off -- e.g. a failure plan whose restore
+    # event never fired because the workload drained first) carry no
+    # traffic and have no serialization time, so they are no more part of
+    # the path statistics than an absent link; paths BFS over the live
+    # subgraph only.
     adjacency: Dict[str, List[Tuple[str, float, float]]] = {
         name: [] for name in topology.node_names()
     }
     for link in topology.links():
+        if link.capacity_bps <= 0.0:
+            continue
         increment = link.propagation_delay + link.phy_latency
         serialization = link.serialization_delay(packet_bits)
         adjacency[link.a].append((link.b, increment, serialization))

@@ -48,6 +48,7 @@ from repro.experiments.harness import build_fabric, fabric_state_row
 from repro.fabric.failures import FailureEvent, FailureKind
 from repro.fabric.topology import TopologyBuilder
 from repro.sim.flow import Flow, reset_flow_ids
+from repro.fabric.packetsim import ENGINES as PACKET_ENGINES
 from repro.sim.fluid import ALLOCATORS as FLUID_ALLOCATORS
 from repro.sim.units import GBPS, megabytes, microseconds
 from repro.workloads.base import WorkloadSpec
@@ -83,6 +84,7 @@ COMMON_DEFAULTS: Dict[str, object] = {
     "controller": "none",        # any registered controller name
     "backend": "fluid",          # simulation backend ("fluid"|"packet")
     "allocator": "incremental",  # fluid rate allocator ("incremental"|"reference")
+    "engine": "event",           # packet execution engine ("event"|"batched")
     "utilisation_threshold": 0.5,
     "control_period_us": 500.0,
     "mean_flow_mb": 2.0,
@@ -98,6 +100,7 @@ FABRIC_PARAM_KEYS = frozenset(
         "controller",
         "backend",
         "allocator",
+        "engine",
         "utilisation_threshold",
         "control_period_us",
     }
@@ -286,6 +289,11 @@ def resolve_params(
             f"allocator must be one of {sorted(FLUID_ALLOCATORS)}, "
             f"got {params['allocator']!r}"
         )
+    if params["engine"] not in PACKET_ENGINES:
+        raise ScenarioError(
+            f"engine must be one of {sorted(PACKET_ENGINES)}, "
+            f"got {params['engine']!r}"
+        )
     if params["controller"] not in controller_names():
         raise ScenarioError(
             f"controller must be one of {sorted(controller_names())}, "
@@ -421,6 +429,7 @@ def run_scenario(
             failures=tuple(failure_events or ()),
             backend=str(params["backend"]),
             allocator=str(params["allocator"]),
+            engine=str(params["engine"]),
         )
     )
 

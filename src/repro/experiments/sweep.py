@@ -6,7 +6,10 @@ once per point of the expanded grid, the runs are fanned out across
 result row with full config provenance (see ``docs/scenarios.md`` for the
 row schema).  Any common scenario parameter is a valid axis -- including
 ``backend``, so one grid can cross the fluid and packet simulators over
-identical workloads (``--grid backend=fluid,packet``).
+identical workloads (``--grid backend=fluid,packet``).  Packet rows may
+also pick the execution engine (``--grid engine=event,batched``); the two
+engines are bit-identical, so such an axis only changes the ``timing``
+field.
 
 Because :func:`repro.experiments.scenarios.run_scenario` derives each run's
 seed from its configuration alone (never from execution order), and because

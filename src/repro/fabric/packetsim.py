@@ -50,6 +50,7 @@ from repro.sim.engine import Simulator
 from repro.sim.flow import Flow, FlowSet
 from repro.sim.fluid import FluidResult
 from repro.sim.packet import HopRecord, Packet
+from repro.sim.packet_batch import BatchedPacketCore
 from repro.sim.trace import NullTrace, TraceRecorder
 from repro.sim.transport import PacketTransport, TransportConfig
 
@@ -58,6 +59,12 @@ DirectedKey = Tuple[str, str]
 #: Backlog fraction of the buffer above which a port marks congestion
 #: (an ECN-style signal surfaced through ``PortState.ecn_marks``).
 DEFAULT_ECN_THRESHOLD = 0.65
+
+#: Selectable packet engines: the event-driven oracle and the batched
+#: train calendar (:mod:`repro.sim.packet_batch`), pinned bit-identical
+#: by ``tests/test_packet_parity.py`` -- the packet analogue of the fluid
+#: core's ``ALLOCATORS``.
+ENGINES = ("event", "batched")
 
 
 @dataclass
@@ -415,6 +422,19 @@ class PacketBackend:
     ``run()`` returns a :class:`~repro.sim.fluid.FluidResult` with
     ``allocator="packet"`` -- one result schema across backends is what
     lets :class:`~repro.experiments.api.RunRecord` stay backend-agnostic.
+
+    ``engine`` selects the execution core: ``"event"`` (the default)
+    schedules one calendar event per packet-hop and is kept verbatim as
+    the parity oracle; ``"batched"`` advances per-port FIFO *segment
+    trains* and coalesces same-instant window refills into single
+    calendar entries (:class:`~repro.sim.packet_batch.BatchedPacketCore`).
+    Both engines produce bit-identical metrics, FCTs, queueing samples
+    and port counters -- pinned by ``tests/test_packet_parity.py`` --
+    and the batched engine is >= 5x faster on the scale-guard workload
+    (``benchmarks/bench_packet_scale.py``).  The only sanctioned
+    difference is ``events_processed``: the batched engine counts
+    calendar entries, and one entry can carry a whole train, so
+    ``max_events`` budgets coalesced entries rather than packet-hops.
     """
 
     def __init__(
@@ -426,27 +446,51 @@ class PacketBackend:
         record_hops: bool = False,
         retain_packets: bool = False,
         max_events: int = 10_000_000,
+        engine: str = "event",
     ) -> None:
         if max_events <= 0:
             raise ValueError(f"max_events must be positive, got {max_events!r}")
+        if engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {engine!r}; expected one of {ENGINES}"
+            )
         self.fabric = fabric
-        self.simulator = Simulator()
+        self.engine = engine
         self.trace = trace if trace is not None else NullTrace()
-        self.network = PacketLevelNetwork(
-            self.simulator,
-            fabric,
-            trace=self.trace,
-            record_hops=record_hops,
-            retain_packets=retain_packets,
-        )
         self._flows = list(flows)
-        self.transport = PacketTransport(
-            self.simulator,
-            self.network,
-            self._flows,
-            route_fn=self._route,
-            config=transport,
-        )
+        if engine == "batched":
+            # One fused core plays all three roles; the facade methods
+            # below address it through whichever surface they need.
+            core = BatchedPacketCore(
+                fabric,
+                self._flows,
+                route_fn=self._route,
+                config=transport,
+                trace=self.trace,
+                ecn_threshold=DEFAULT_ECN_THRESHOLD,
+                record_hops=record_hops,
+                retain_packets=retain_packets,
+                port_factory=PortState,
+            )
+            self.simulator = core
+            self.network = core
+            self.transport = core
+        else:
+            self.simulator = Simulator()
+            self.network = PacketLevelNetwork(
+                self.simulator,
+                fabric,
+                trace=self.trace,
+                record_hops=record_hops,
+                retain_packets=retain_packets,
+            )
+            self.transport = PacketTransport(
+                self.simulator,
+                self.network,
+                self._flows,
+                route_fn=self._route,
+                config=transport,
+            )
         self.default_max_events = max_events
         self._truncated = False
         # Capacity view: utilisation denominators and report integrals.
@@ -682,20 +726,27 @@ class PacketBackend:
         if max_events is None:
             max_events = self.default_max_events
         simulator = self.simulator
-        while True:
-            next_time = simulator.peek()
-            if next_time is None:
-                break
-            if until is not None and next_time > until:
-                break
-            if until is None and self.transport.finished:
-                # Only controller ticks remain and there is no traffic
-                # left for them to act on: the run is complete.
-                break
-            if simulator.events_executed >= max_events:
+        if self.engine == "batched":
+            # The core fuses this loop (identical stop conditions) and
+            # drops its link-property caches on entry; a train whose
+            # later segments fall past ``until`` is split there.
+            if simulator.drive(until, max_events):
                 self._truncated = True
-                break
-            simulator.step()
+        else:
+            while True:
+                next_time = simulator.peek()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    break
+                if until is None and self.transport.finished:
+                    # Only controller ticks remain and there is no traffic
+                    # left for them to act on: the run is complete.
+                    break
+                if simulator.events_executed >= max_events:
+                    self._truncated = True
+                    break
+                simulator.step()
         if until is not None and simulator.now < until and not self._truncated:
             simulator.run(until=until)
         return self._result(until)

@@ -335,13 +335,19 @@ def test_packet_sweep_rows_are_identical_for_any_worker_count():
 
 def test_loop_on_packet_sweep_rows_are_identical_for_any_worker_count():
     """Same acceptance property for controller='loop' packet rows: the
-    loop's co-simulation is a pure function of the run's configuration."""
-    # Not failure_recovery: the sweep's fabric-state row needs live links,
-    # and the shrunk workload drains before the scenario's restore event
-    # (a run_scenario limitation that predates loop-on-packet and applies
-    # to both backends equally).
+    loop's co-simulation is a pure function of the run's configuration.
+
+    failure_recovery is the interesting member: its shrunk workload drains
+    before the scenario's restore event, so the run ends with a dark link
+    and the fabric-state row must compute path statistics over the live
+    subgraph (it used to raise on the dead link's serialization time).
+    """
     kwargs = dict(
-        scenarios=["hotspot_migration", "load_shift_uniform_to_permutation"],
+        scenarios=[
+            "failure_recovery",
+            "hotspot_migration",
+            "load_shift_uniform_to_permutation",
+        ],
         grid={
             "backend": ["packet"],
             "controller": ["loop"],

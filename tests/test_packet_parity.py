@@ -1,0 +1,276 @@
+"""Packet-engine parity: batched vs event, pinned bit-identical.
+
+The batched engine (segment trains advanced port-at-a-time, same-instant
+injections coalesced, link contexts cached per mutation epoch) must be
+indistinguishable from the event-driven oracle -- not approximately, *bit
+for bit*.  These tests pin that for every small registered scenario
+crossed with every built-in controller (including the closed control
+loop), and for the resumable-run edges the scenario layer cannot reach:
+``run(until=...)`` cuts at arbitrary instants, facade mutations between
+and during runs (``set_capacity``/``add_link``/``set_enabled``/
+``reroute``), and a controller that keeps mutating the fabric mid-run.
+
+The one sanctioned divergence is ``events_processed``: the batched engine
+counts calendar entries (a train of coalesced segments is one entry), so
+event totals are engine-specific by design and excluded from snapshots.
+Everything else -- metrics, FCTs, port counters, ECN marks, the exact
+queueing-sample sequence -- must match to the last bit.
+"""
+
+import random
+
+import pytest
+
+from repro.experiments.api import ExperimentSpec, run_experiment
+from repro.experiments.harness import build_grid_fabric
+from repro.experiments.scenarios import (
+    controller_config_from_params,
+    derive_run_seed,
+    list_scenarios,
+    materialize_run,
+    resolve_params,
+)
+from repro.fabric.packetsim import ENGINES, PacketBackend
+from repro.sim.flow import Flow, reset_flow_ids
+from repro.sim.transport import TransportConfig
+
+CONTROLLERS = ("none", "static", "ecmp", "crc", "loop")
+
+#: Workload shrink for every scenario leg (same spelling as the fidelity
+#: gate): parity is about execution order, not scale, and both engines see
+#: the same override so the derived seed -- and the flow list -- stays
+#: identical.
+BASE_OVERRIDES = {"mean_flow_mb": 0.05}
+
+#: The storage workloads use fixed block sizes regardless of
+#: ``mean_flow_mb``; a jumbo MTU keeps their packetised legs in test time.
+JUMBO_TRANSPORT = TransportConfig(mtu_bytes=9000.0)
+
+
+def small_scenarios():
+    """Every registered scenario on a small (<= 3x3) default fabric."""
+    return [
+        scenario
+        for scenario in list_scenarios()
+        if int(scenario.parameters()["rows"]) * int(scenario.parameters()["columns"]) <= 9
+    ]
+
+
+def _transport_for(scenario):
+    return JUMBO_TRANSPORT if scenario.workload == "disaggregated-storage" else None
+
+
+def _scenario_record(scenario, controller, engine):
+    params = resolve_params(
+        scenario,
+        dict(BASE_OVERRIDES, controller=controller, backend="packet", engine=engine),
+    )
+    seed = derive_run_seed(3, scenario.name, params)
+    fabric, flows, failure_events = materialize_run(scenario, params, seed)
+    record = run_experiment(
+        ExperimentSpec(
+            fabric=fabric,
+            flows=flows,
+            label=scenario.name,
+            controller=controller,
+            controller_config=controller_config_from_params(controller, params),
+            failures=tuple(failure_events or ()),
+            backend="packet",
+            engine=engine,
+            transport=_transport_for(scenario),
+        )
+    )
+    return seed, record
+
+
+def _record_snapshot(record):
+    """Everything a run reports, minus the engine-specific event count."""
+    result = record.fluid
+    return {
+        "metrics": record.metrics,
+        "end_time": result.end_time,
+        "bits_carried": result.link_bits_carried,
+        "capacity_seconds": result.link_capacity_seconds,
+        "utilisation": result.link_utilisation(),
+        "truncated": result.truncated,
+        "fcts": [(f.flow_id, f.fct) for f in record.flows],
+        "reroutes": record.controller_summary.flows_rerouted,
+        "reconfigurations": record.controller_summary.reconfigurations,
+    }
+
+
+@pytest.mark.parametrize("scenario", small_scenarios(), ids=lambda s: s.name)
+def test_scenario_metrics_bit_identical_across_engines(scenario):
+    for controller in CONTROLLERS:
+        seed_event, event = _scenario_record(scenario, controller, "event")
+        seed_batched, batched = _scenario_record(scenario, controller, "batched")
+        assert seed_event == seed_batched, controller
+        assert _record_snapshot(event) == _record_snapshot(batched), (
+            f"engines diverged for scenario {scenario.name!r} under "
+            f"controller {controller!r}"
+        )
+
+
+# --------------------------------------------------------------------------- #
+# Direct-backend edges: resume cuts and mid-run mutations
+# --------------------------------------------------------------------------- #
+def _build_backend(engine, n_flows=48, seed=3, **kwargs):
+    reset_flow_ids()
+    rng = random.Random(seed)
+    fabric = build_grid_fabric(3, 3)
+    names = [getattr(node, "name", node) for node in fabric.topology.nodes()]
+    flows = []
+    for _ in range(n_flows):
+        src, dst = rng.sample(names, 2)
+        flows.append(
+            Flow(
+                src=src,
+                dst=dst,
+                size_bits=rng.uniform(0.5, 2.0) * 2e6,
+                start_time=rng.uniform(0.0, 2e-4),
+            )
+        )
+    return PacketBackend(fabric, flows, engine=engine, **kwargs), fabric, flows
+
+
+def _backend_snapshot(backend, result=None):
+    network = backend.network
+    state = {
+        "now": backend.simulator.now,
+        "metrics": backend.packet_metrics(),
+        "bits_delivered": network.bits_delivered,
+        "queueing_samples": list(network.queueing_samples),
+        "ports": {
+            key: (
+                port.packets_sent,
+                port.bits_sent,
+                port.packets_dropped,
+                port.bits_dropped,
+                port.busy_until,
+                port.queueing_seconds_total,
+                port.max_backlog_bits,
+                port.ecn_marks,
+                port.capacity_bps,
+            )
+            for key, port in network.port_stats().items()
+        },
+        "transport": backend.transport.summary(),
+        "completions": [
+            (flow.flow_id, flow.metadata.get("completed_at"))
+            for flow in backend._flows
+        ],
+    }
+    if result is not None:
+        state["end_time"] = result.end_time
+        state["bits_carried"] = result.link_bits_carried
+        state["capacity_seconds"] = result.link_capacity_seconds
+        state["truncated"] = result.truncated
+    return state
+
+
+def test_resume_cuts_are_bit_identical():
+    # Arbitrary horizon cuts -- mid-burst, between bursts, past the end --
+    # must leave both engines in bit-identical states at every cut, and
+    # the final completion must match a single uncut run.
+    cuts = (9e-5, 2.1e-4, 3.6e-4, None)
+    snapshots = {}
+    for engine in ENGINES:
+        backend, _, _ = _build_backend(engine)
+        stages = []
+        for cut in cuts:
+            result = backend.run(until=cut)
+            stages.append(_backend_snapshot(backend, result))
+            if cut is not None:
+                assert not backend.transport.finished, (
+                    f"cut at {cut} landed after the workload; resume is "
+                    "not being exercised"
+                )
+        snapshots[engine] = stages
+    assert snapshots["event"] == snapshots["batched"]
+
+    uncut, _, _ = _build_backend("batched")
+    final = _backend_snapshot(uncut, uncut.run())
+    # Horizon bookkeeping (clock parked at `until`, capacity integrated to
+    # it) legitimately differs between a staged and an uncut run; the
+    # packet-visible state must not.
+    staged = dict(snapshots["batched"][-1])
+    for key in ("end_time", "bits_carried", "capacity_seconds", "truncated", "now"):
+        staged.pop(key, None)
+        final.pop(key, None)
+    assert staged == final
+
+
+def test_mid_run_facade_mutations_are_bit_identical():
+    # set_capacity (eager drain-rescale), set_enabled False (tail-drop on
+    # a dark port), add_link + reroute onto it, then recovery -- applied
+    # at the same instants between run(until=...) calls on both engines.
+    snapshots = {}
+    for engine in ENGINES:
+        backend, fabric, flows = _build_backend(engine)
+        links = sorted(backend.links())
+        victim = links[0]
+        detour = links[-1]
+        stages = []
+
+        backend.run(until=1.5e-4)
+        assert not backend.transport.finished
+        backend.set_capacity(victim, backend.links()[victim] * 0.25)
+        stages.append(_backend_snapshot(backend))
+
+        backend.run(until=3e-4)
+        assert not backend.transport.finished
+        backend.set_enabled(victim, False)
+        stages.append(_backend_snapshot(backend))
+
+        backend.run(until=4.5e-4)
+        backend.set_enabled(victim, True)
+        backend.set_capacity(detour, backend.links()[detour] * 2.0)
+        moved = 0
+        for flow in backend.active_flows():
+            route = backend.route_of(flow.flow_id)
+            if len(route) >= 2:
+                backend.reroute(flow.flow_id, route)  # same-path rebind
+                moved += 1
+                if moved == 3:
+                    break
+        stages.append(_backend_snapshot(backend))
+
+        result = backend.run()
+        stages.append(_backend_snapshot(backend, result))
+        snapshots[engine] = stages
+    assert snapshots["event"] == snapshots["batched"]
+
+
+def test_controller_mutating_mid_run_is_bit_identical():
+    # The loop-mutation case: a periodic controller that squeezes and
+    # restores a hot link and reroutes active flows *while* the engines
+    # run, interleaved with a resume cut.  Every mutation lands inside
+    # engine execution, not between runs.
+    snapshots = {}
+    for engine in ENGINES:
+        backend, fabric, flows = _build_backend(engine)
+        links = sorted(backend.links())
+        hot = links[len(links) // 2]
+        base = backend.links()[hot]
+        ticks = []
+
+        def tick(be, now, ticks=ticks):
+            ticks.append(now)
+            be.set_capacity(hot, base * (0.5 if len(ticks) % 2 else 1.5))
+            active = be.active_flows()
+            if active:
+                flow = active[len(ticks) % len(active)]
+                be.reroute(flow.flow_id, be.route_of(flow.flow_id))
+
+        backend.add_controller(2e-4, tick, start_offset=1e-4)
+        backend.run(until=6e-4)
+        mid = _backend_snapshot(backend)
+        result = backend.run(until=5e-3)
+        snapshots[engine] = (mid, _backend_snapshot(backend, result), list(ticks))
+    assert snapshots["event"] == snapshots["batched"]
+    assert snapshots["event"][2], "controller never ticked"
+
+
+def test_unknown_engine_is_rejected():
+    with pytest.raises(ValueError, match="engine"):
+        _build_backend("vectorised")

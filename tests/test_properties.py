@@ -307,6 +307,129 @@ def test_packet_conservation_holds_while_the_loop_mutates(draws, horizon_fractio
 
 
 # --------------------------------------------------------------------------- #
+# Batched packet engine invariants
+# --------------------------------------------------------------------------- #
+# The batched engine coalesces segments into trains and splits them on
+# interleave, so its conservation counters, per-hop timestamps and delay
+# decomposition must hold at *any* horizon cut -- a train split mid-run
+# must never lose or double-count a segment.  (The engine drives flows
+# through the transport, so these properties feed it flow draws rather
+# than raw packets.)
+
+#: One random flow draw: (src pick, dst pick, size bits, start time).
+_batched_flow_draws = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=10 ** 6),
+        st.integers(min_value=0, max_value=10 ** 6),
+        st.floats(min_value=2_000.0, max_value=150_000.0, allow_nan=False),
+        st.floats(min_value=0.0, max_value=3e-5, allow_nan=False),
+    ),
+    min_size=1,
+    max_size=12,
+)
+
+
+def _batched_backend(shape, draws, buffer_bytes=None, **kwargs):
+    kind, a, b = shape
+    builder = TopologyBuilder(lanes_per_link=1)
+    topology = builder.line(a) if kind == "line" else builder.grid(a, b)
+    config = FabricConfig()
+    if buffer_bytes is not None:
+        config = FabricConfig(
+            switch_model=SwitchModel(buffer_bits=bits_from_bytes(buffer_bytes))
+        )
+    fabric = Fabric(topology, config)
+    endpoints = fabric.topology.endpoints()
+    flows = []
+    for src_pick, dst_pick, size_bits, start_time in draws:
+        src = endpoints[src_pick % len(endpoints)]
+        dst = endpoints[dst_pick % len(endpoints)]
+        if src == dst:
+            dst = endpoints[(dst_pick + 1) % len(endpoints)]
+            if src == dst:
+                continue
+        flows.append(Flow(src, dst, size_bits=size_bits, start_time=start_time))
+    if not flows:
+        return None
+    return PacketBackend(fabric, flows, engine="batched", **kwargs)
+
+
+@COMMON_SETTINGS
+@given(_topologies, _batched_flow_draws, st.floats(min_value=0.0, max_value=1.0))
+def test_batched_conservation_at_any_run_point(shape, draws, horizon_fraction):
+    """entered == delivered + dropped + in-flight at any run(until) cut of
+    the batched engine, and everything settles once it drains."""
+    # A tight buffer and a small retransmit window so random bursts
+    # genuinely exercise the drop/retransmit paths through train splits.
+    backend = _batched_backend(
+        shape,
+        draws,
+        buffer_bytes=4500,
+        transport=TransportConfig(window_packets=4, retransmit_delay=1e-6),
+    )
+    if backend is None:
+        return
+    network = backend.network
+    horizon = horizon_fraction * (
+        max(f.start_time for f in backend._flows) + 2e-5
+    )
+    backend.run(until=horizon)
+    assert network.packets_entered == (
+        network.delivered_count + network.dropped_count + network.in_flight
+    )
+    assert network.packets_entered <= network.packets_injected
+    backend.run()
+    backend.simulator.drain()
+    assert network.in_flight == 0
+    assert network.packets_entered == network.packets_injected
+    assert network.packets_entered == (
+        network.delivered_count + network.dropped_count
+    )
+    assert backend.transport.finished
+    # No duplicate payload: retransmission only replaces dropped segments.
+    assert network.bits_delivered <= sum(
+        f.size_bits for f in backend._flows
+    ) * (1 + 1e-9)
+
+
+@COMMON_SETTINGS
+@given(_topologies, _batched_flow_draws)
+def test_batched_hop_timestamps_are_nondecreasing(shape, draws):
+    # record_hops forces the engine's rich mode: coalescing must still
+    # stamp every per-hop arrival/departure in causal order.
+    backend = _batched_backend(shape, draws, record_hops=True, retain_packets=True)
+    if backend is None:
+        return
+    backend.run()
+    network = backend.network
+    assert network.delivered, "idle-buffer runs must deliver everything"
+    for packet in network.delivered:
+        previous_departure = packet.created_at
+        for hop in packet.hops:
+            assert hop.arrival >= previous_departure - 1e-15
+            assert hop.departure >= hop.arrival
+            assert hop.queueing >= 0.0
+            assert hop.switching >= 0.0
+            previous_departure = hop.departure
+        assert packet.delivered_at >= previous_departure
+
+
+@COMMON_SETTINGS
+@given(_topologies, _batched_flow_draws)
+def test_batched_delay_breakdown_sums_to_latency(shape, draws):
+    backend = _batched_backend(shape, draws, record_hops=True, retain_packets=True)
+    if backend is None:
+        return
+    backend.run()
+    network = backend.network
+    assert network.delivered, "idle-buffer runs must deliver everything"
+    for packet in network.delivered:
+        breakdown = packet.delay_breakdown()
+        assert sum(breakdown.values()) == pytest.approx(packet.latency, rel=1e-9)
+        assert breakdown["queueing"] == pytest.approx(packet.queueing_seconds, rel=1e-9)
+
+
+# --------------------------------------------------------------------------- #
 # FEC invariants
 # --------------------------------------------------------------------------- #
 @COMMON_SETTINGS
