@@ -11,7 +11,10 @@ Examples
     repro-fabric validate
     repro-fabric list-scenarios
     repro-fabric list-controllers
+    repro-fabric list-topologies
     repro-fabric run mapreduce-skewed --set rows=4 --set skew_factor=3.0
+    repro-fabric run fattree_uniform --set num_flows=256
+    repro-fabric run dragonfly_permutation --set backend=packet
     repro-fabric run hotspot_migration --set controller=ecmp
     repro-fabric run uniform-burst --set backend=packet
     repro-fabric run uniform-burst --set backend=packet --set engine=batched
@@ -46,8 +49,10 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.breakeven import break_even_curve
 from repro.analysis.validation import validate_against_analytical, validation_summary
+from repro.core.candidates import candidate_moves
 from repro.core.controllers import controller_catalog
 from repro.experiments.comparison import adaptive_vs_static
+from repro.fabric.topologies import topology_catalog
 from repro.experiments.figures import figure1_rows, figure2_rows, mapreduce_comparison_rows
 from repro.experiments.scenarios import ScenarioError, list_scenarios, run_scenario
 from repro.experiments.sweep import run_sweep
@@ -173,6 +178,23 @@ def _cmd_list_controllers(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_list_topologies(args: argparse.Namespace) -> int:
+    families = topology_catalog()
+    rows = [
+        {
+            "name": family.name,
+            "family": family.family,
+            "endpoints": family.size_formula,
+            "parameters": ", ".join(family.parameters),
+            "moves": ", ".join(candidate_moves(family.name)) or "-",
+            "description": family.description,
+        }
+        for family in families
+    ]
+    _print_rows(f"Registered topology families ({len(rows)})", rows)
+    return 0
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     overrides: Dict[str, object] = {}
     for key, value in args.set or []:
@@ -286,6 +308,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     lc = sub.add_parser("list-controllers", help="enumerate the controller registry")
     lc.set_defaults(func=_cmd_list_controllers)
+
+    lt = sub.add_parser(
+        "list-topologies",
+        help="enumerate the topology-family registry and each family's moves",
+    )
+    lt.set_defaults(func=_cmd_list_topologies)
 
     run = sub.add_parser("run", help="run one registered scenario, print its JSON row")
     run.add_argument("scenario", help="scenario name (see list-scenarios)")

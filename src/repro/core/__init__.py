@@ -7,6 +7,11 @@
 * :mod:`repro.core.reconfiguration` -- the break-even optimisation ("what is
   the minimum flow size for which reconfiguration is worth the cost?") and
   concrete reconfiguration plans such as the Figure 2 grid-to-torus plan.
+* :mod:`repro.core.candidates` -- reconfiguration candidates and the
+  per-topology-family candidate registry: each registered topology family
+  (grid, fat-tree, dragonfly, ...) declares its legal moves, and the loop
+  controller resolves them by family name instead of hard-coding the
+  grid-to-torus move.
 * :mod:`repro.core.policy` -- control policies (latency minimisation, power
   cap, adaptive FEC, composites).
 * :mod:`repro.core.scheduler` -- flow scheduling subject to PLP availability.
@@ -23,13 +28,20 @@
   behind :func:`repro.experiments.api.run_experiment`.
 """
 
+from repro.core.candidates import (
+    DragonflyGlobalRehomeCandidate,
+    FatTreeUplinkRebalanceCandidate,
+    GridToTorusCandidate,
+    PlanCandidate,
+    PlanProposal,
+    candidate_moves,
+    candidates_for_topology,
+    register_candidate,
+)
 from repro.core.control import (
     ControlLoop,
     ControlLoopConfig,
     ControlTick,
-    GridToTorusCandidate,
-    PlanCandidate,
-    PlanProposal,
 )
 from repro.core.controllers import (
     Controller,
@@ -77,8 +89,13 @@ __all__ = [
     "ControlLoopConfig",
     "ControlTick",
     "GridToTorusCandidate",
+    "FatTreeUplinkRebalanceCandidate",
+    "DragonflyGlobalRehomeCandidate",
     "PlanCandidate",
     "PlanProposal",
+    "candidate_moves",
+    "candidates_for_topology",
+    "register_candidate",
     "LinkPriceTagger",
     "PriceWeights",
     "ClosedRingControl",

@@ -32,8 +32,9 @@ Every tick the loop walks one lap of the ring:
 3. **schedule** -- re-price every active flow through the
    :class:`~repro.core.scheduler.FlowScheduler` and reroute the ones whose
    current path has become expensive enough to justify moving;
-4. **plan** -- offer each registered :class:`PlanCandidate` (starting with
-   :class:`GridToTorusCandidate`) to the
+4. **plan** -- offer each registered :class:`PlanCandidate` (resolved for
+   the fabric's topology family by the candidate registry in
+   :mod:`repro.core.candidates`) to the
    :class:`~repro.core.reconfiguration.ReconfigurationPlanner`, gating on
    the telemetry-smoothed demand so a one-tick spike cannot trigger a
    topology change;
@@ -54,17 +55,21 @@ import math
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, FrozenSet, List, Optional, Sequence, Tuple, Union
 
+from repro.core.candidates import (
+    GridToTorusCandidate,
+    PlanCandidate,
+    PlanProposal,
+)
 from repro.core.cost import LinkPriceTagger, PriceWeights
 from repro.core.plp import PLPExecutor, PLPResult, ReconfigurationDelays
 from repro.core.reconfiguration import (
-    GridToTorusPlan,
     ReconfigurationPlan,
     ReconfigurationPlanner,
 )
 from repro.core.scheduler import FlowScheduler
 from repro.fabric.fabric import Fabric
 from repro.fabric.routing import path_directed_keys
-from repro.fabric.topology import TopologyBuilder, canonical_key, merge_directed_values
+from repro.fabric.topology import canonical_key, merge_directed_values
 from repro.phy.stats import EwmaEstimator
 from repro.sim.engine import Simulator
 from repro.sim.fluid import FluidFlowSimulator, FluidResult
@@ -179,120 +184,15 @@ class ControlTick:
     transition_until: Optional[float] = None
 
 
-@dataclass
-class PlanProposal:
-    """A candidate's offer to the planner: a plan plus its rate estimates."""
-
-    plan: ReconfigurationPlan
-    current_rate_bps: float
-    reconfigured_rate_bps: float
-
-
-class PlanCandidate:
-    """Interface of a reconfiguration candidate the loop keeps evaluating.
-
-    Subclasses build a concrete :class:`ReconfigurationPlan` from the
-    fabric's *current* state and estimate the service rates before and
-    after it; the loop's planner makes the go/no-go call.  A candidate that
-    has nothing (left) to offer returns ``None``.
-    """
-
-    name: str = "candidate"
-
-    def propose(self, fabric: Fabric, delays: ReconfigurationDelays) -> Optional[PlanProposal]:
-        """Return a proposal for the fabric's current state, or ``None``."""
-        raise NotImplementedError
-
-    def committed(self, now: float) -> None:
-        """Notification that the loop applied this candidate's plan."""
-
-
-class GridToTorusCandidate(PlanCandidate):
-    """The paper's Figure 2 move, offered as a standing candidate.
-
-    Harvest one lane from every grid link and redeploy the freed lanes as
-    torus wrap-around links.  The candidate retires itself once applied (or
-    once the wrap-around links already exist).
-
-    Parameters
-    ----------
-    rows, columns:
-        Grid dimensions of the fabric the candidate watches.
-    harvest_per_link:
-        Lanes taken from every grid link.
-    lanes_per_wraparound:
-        Bundle size of each created wrap-around link.  ``None`` (the
-        default) sizes the bundles to spend the whole harvested budget --
-        ``harvested // wraparounds`` lanes each -- so the reconfiguration
-        conserves aggregate capacity instead of stranding lanes in the
-        executor's pool (on a 3x3 rack: 12 harvested lanes over 6
-        wrap-around links = 2 lanes each).  Any remainder that does not
-        divide evenly stays pooled.
-    """
-
-    name = "grid-to-torus"
-
-    def __init__(
-        self,
-        rows: int,
-        columns: int,
-        harvest_per_link: int = 1,
-        lanes_per_wraparound: Optional[int] = None,
-    ) -> None:
-        if lanes_per_wraparound is None:
-            grid_links = rows * (columns - 1) + columns * (rows - 1)
-            harvested = grid_links * harvest_per_link
-            wraparounds = len(TopologyBuilder.torus_wraparound_pairs(rows, columns))
-            lanes_per_wraparound = max(1, harvested // max(wraparounds, 1))
-        self.builder = GridToTorusPlan(
-            rows=rows,
-            columns=columns,
-            harvest_per_link=harvest_per_link,
-            lanes_per_wraparound=lanes_per_wraparound,
-        )
-        self.applied = False
-
-    def propose(self, fabric: Fabric, delays: ReconfigurationDelays) -> Optional[PlanProposal]:
-        """Build the grid-to-torus plan if it is still feasible and useful."""
-        if self.applied:
-            return None
-        topology = fabric.topology
-        try:
-            plan = self.builder.build(topology, delays)
-        except ValueError:
-            return None  # not a (thick enough) grid any more
-        if not any(cmd.type.value == "create-link" for cmd in plan.commands):
-            self.applied = True  # the wrap-around links already exist
-            return None
-        current_rate, reconfigured_rate = self._estimate_rates(topology)
-        return PlanProposal(
-            plan=plan,
-            current_rate_bps=current_rate,
-            reconfigured_rate_bps=reconfigured_rate,
-        )
-
-    def committed(self, now: float) -> None:
-        """Retire the candidate once its plan has been applied."""
-        self.applied = True
-
-    def _estimate_rates(self, topology) -> Tuple[float, float]:
-        """Aggregate service rates before/after, from the hop-count bound.
-
-        The plan conserves the lane budget, so aggregate capacity is
-        unchanged and the sustainable-throughput ratio reduces to the ratio
-        of average shortest-path hop counts -- the paper's "fewer switch
-        traversals" argument in one line.
-        """
-        total_capacity = sum(link.capacity_bps for link in topology.links())
-        current_hops = topology.average_shortest_path_hops()
-        target = TopologyBuilder(lanes_per_link=1).torus(
-            self.builder.rows, self.builder.columns
-        )
-        target_hops = target.average_shortest_path_hops()
-        return (
-            total_capacity / max(current_hops, 1e-9),
-            total_capacity / max(target_hops, 1e-9),
-        )
+__all__ = [
+    "ControlLoop",
+    "ControlLoopConfig",
+    "ControlTick",
+    "GridToTorusCandidate",
+    "PlanCandidate",
+    "PlanProposal",
+    "SimulationBackend",
+]
 
 
 class ControlLoop:

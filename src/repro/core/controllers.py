@@ -299,13 +299,17 @@ class LoopController(Controller):
         candidates: Optional[Sequence[PlanCandidate]] = None,
         grid_rows: Optional[int] = None,
         grid_columns: Optional[int] = None,
+        topology: Optional[str] = None,
+        topology_params: Optional[Mapping[str, object]] = None,
         telemetry: Optional[TelemetryCollector] = None,
         **kwargs: object,
     ) -> None:
         """Configure via a :class:`ControlLoopConfig` (``config=``) or loose
         :class:`ControlLoopConfig` keyword arguments.  With no explicit
-        *candidates*, grid dimensions install the standing
-        :class:`~repro.core.control.GridToTorusCandidate`.
+        *candidates*, ``topology``/``topology_params`` resolve the standing
+        candidates through the per-family registry in
+        :mod:`repro.core.candidates`; ``grid_rows``/``grid_columns`` remain
+        as the legacy spelling of ``topology="grid"``.
         """
         super().__init__()
         if config is not None and kwargs:
@@ -322,6 +326,8 @@ class LoopController(Controller):
         self._candidates = candidates
         self._grid_rows = grid_rows
         self._grid_columns = grid_columns
+        self._topology = topology
+        self._topology_params = dict(topology_params) if topology_params else {}
         self._telemetry = telemetry
         self.loop: Optional[ControlLoop] = None
 
@@ -343,15 +349,25 @@ class LoopController(Controller):
         """
         super().attach(simulator)
         assert self._fabric is not None, "prepare() must run before attach()"
-        from repro.core.control import GridToTorusCandidate
+        from repro.core.candidates import candidates_for_topology
 
         candidates = self._candidates
         if candidates is None:
-            candidates = (
-                [GridToTorusCandidate(self._grid_rows, self._grid_columns)]
-                if self._grid_rows is not None and self._grid_columns is not None
-                else []
-            )
+            topology = self._topology
+            params = dict(self._topology_params)
+            if topology is None and (
+                self._grid_rows is not None and self._grid_columns is not None
+            ):
+                # Legacy spelling: grid dimensions imply the grid family.
+                topology = "grid"
+                params = {"rows": self._grid_rows, "columns": self._grid_columns}
+            if topology is not None:
+                try:
+                    candidates = candidates_for_topology(topology, params)
+                except ValueError as error:
+                    raise ControllerError(f"controller 'loop': {error}") from None
+            else:
+                candidates = []
         self.loop = ControlLoop(
             self._fabric,
             candidates=candidates,

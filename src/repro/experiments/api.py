@@ -67,12 +67,22 @@ class FabricSpec:
     topology: str = "grid"
     rows: int = 3
     columns: int = 3
+    pods: int = 4
+    groups: int = 4
+    routers_per_group: int = 4
+    hosts_per_router: int = 2
     lanes_per_link: int = 2
     lane_rate_bps: float = 25 * GBPS
     config: Optional[FabricConfig] = None
 
     def build(self) -> Fabric:
-        """Materialise the fabric this spec describes."""
+        """Materialise the fabric this spec describes.
+
+        Every registered family's dimensions are carried along; the family
+        named by :attr:`topology` picks the ones it declares (``rows`` /
+        ``columns`` for the meshes, ``pods`` for fat-tree, ``groups`` /
+        ``routers_per_group`` / ``hosts_per_router`` for dragonfly).
+        """
         return build_fabric(
             self.topology,
             self.rows,
@@ -80,6 +90,10 @@ class FabricSpec:
             lanes_per_link=self.lanes_per_link,
             lane_rate_bps=self.lane_rate_bps,
             config=self.config,
+            pods=self.pods,
+            groups=self.groups,
+            routers_per_group=self.routers_per_group,
+            hosts_per_router=self.hosts_per_router,
         )
 
     def to_dict(self) -> Dict[str, object]:
@@ -88,6 +102,10 @@ class FabricSpec:
             "topology": self.topology,
             "rows": self.rows,
             "columns": self.columns,
+            "pods": self.pods,
+            "groups": self.groups,
+            "routers_per_group": self.routers_per_group,
+            "hosts_per_router": self.hosts_per_router,
             "lanes_per_link": self.lanes_per_link,
             "lane_rate_bps": self.lane_rate_bps,
             "config": _jsonable(self.config) if self.config is not None else None,

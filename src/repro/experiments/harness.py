@@ -163,29 +163,38 @@ def build_torus_fabric(
 
 def build_fabric(
     topology: str,
-    rows: int,
-    columns: int,
+    rows: int = 3,
+    columns: int = 3,
     lanes_per_link: int = 2,
     lane_rate_bps: float = 25 * GBPS,
     config: Optional[FabricConfig] = None,
+    **dimensions: int,
 ) -> Fabric:
-    """Build a fabric by topology name (``"grid"`` or ``"torus"``).
+    """Build a fabric by registered topology-family name.
 
     The scenario registry and :class:`~repro.experiments.api.FabricSpec`
-    store the topology as data, so they need a single dispatch point
-    rather than a function per shape.
+    store the topology as data, so they need a single dispatch point rather
+    than a function per shape; dispatch goes through the topology-family
+    registry (:mod:`repro.fabric.topologies`), so any registered family --
+    ``grid``, ``torus``, ``fat-tree``, ``dragonfly`` or a third-party
+    registration -- resolves here.  Each family picks the dimensions it
+    declares (``rows``/``columns`` for the meshes, ``pods`` for fat-tree,
+    ``groups``/``routers_per_group``/``hosts_per_router`` for dragonfly)
+    out of the keyword arguments; raises :class:`ValueError`
+    (:class:`~repro.fabric.topologies.TopologyError`) for unknown names or
+    invalid dimensions.
     """
-    if topology == "grid":
-        return build_grid_fabric(
-            rows, columns, lanes_per_link=lanes_per_link,
-            lane_rate_bps=lane_rate_bps, config=config,
-        )
-    if topology == "torus":
-        return build_torus_fabric(
-            rows, columns, lanes_per_link=lanes_per_link,
-            lane_rate_bps=lane_rate_bps, config=config,
-        )
-    raise ValueError(f"unknown topology {topology!r} (expected 'grid' or 'torus')")
+    from repro.fabric.topologies import build_topology_fabric
+
+    params: Dict[str, int] = {"rows": rows, "columns": columns}
+    params.update(dimensions)
+    return build_topology_fabric(
+        topology,
+        params,
+        lanes_per_link=lanes_per_link,
+        lane_rate_bps=lane_rate_bps,
+        config=config,
+    )
 
 
 def fabric_state_row(fabric: Fabric, packet_size_bytes: float = 1500.0) -> Dict[str, float]:

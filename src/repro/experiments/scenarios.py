@@ -46,6 +46,7 @@ from repro.core.crc import CRCConfig
 from repro.experiments.api import BACKENDS, ExperimentSpec, run_experiment
 from repro.experiments.harness import build_fabric, fabric_state_row
 from repro.fabric.failures import FailureEvent, FailureKind
+from repro.fabric.topologies import TopologyError, get_topology
 from repro.fabric.topology import TopologyBuilder
 from repro.sim.flow import Flow, reset_flow_ids
 from repro.fabric.packetsim import ENGINES as PACKET_ENGINES
@@ -76,9 +77,13 @@ class ScenarioError(ValueError):
 
 #: Parameters shared by every scenario.  All of them are sweepable.
 COMMON_DEFAULTS: Dict[str, object] = {
-    "topology": "grid",          # "grid" or "torus"
-    "rows": 3,
+    "topology": "grid",          # any registered topology family name
+    "rows": 3,                   # grid/torus dimensions
     "columns": 3,
+    "pods": 4,                   # fat-tree dimension
+    "groups": 4,                 # dragonfly dimensions
+    "routers_per_group": 4,
+    "hosts_per_router": 2,
     "lanes_per_link": 2,
     "crc": False,                # DEPRECATED spelling of controller="crc"
     "controller": "none",        # any registered controller name
@@ -92,9 +97,16 @@ COMMON_DEFAULTS: Dict[str, object] = {
 
 #: Fabric-side keys: they change how the fabric is built or controlled but
 #: must not change which flows the workload generates (see module docstring).
+#: The per-family dimension keys (``pods``, ``groups``, ...) are fabric-side
+#: too: the workload follows the fabric's endpoint list, not the seed, so a
+#: family's dimensions stay seed-neutral the way ``topology`` itself is.
 FABRIC_PARAM_KEYS = frozenset(
     {
         "topology",
+        "pods",
+        "groups",
+        "routers_per_group",
+        "hosts_per_router",
         "lanes_per_link",
         "crc",
         "controller",
@@ -247,8 +259,10 @@ def resolve_params(
         )
     defaults = scenario.parameters()
     params.update(overrides)
-    if params["topology"] not in ("grid", "torus"):
-        raise ScenarioError(f"topology must be 'grid' or 'torus', got {params['topology']!r}")
+    try:
+        family = get_topology(str(params["topology"]))
+    except TopologyError as error:
+        raise ScenarioError(str(error)) from None
     # Coerce every value to the type its default declares.  This both gives
     # clean errors for junk input and canonicalises numeric types: the seed
     # is derived from the JSON of these parameters, so `skew_factor=2`
@@ -306,6 +320,10 @@ def resolve_params(
         )
     if int(params["rows"]) < 2 or int(params["columns"]) < 2:
         raise ScenarioError("rows and columns must both be >= 2")
+    try:
+        family.dimensions(params)
+    except TopologyError as error:
+        raise ScenarioError(str(error)) from None
     return params
 
 
@@ -350,6 +368,10 @@ def materialize_run(
         int(params["rows"]),
         int(params["columns"]),
         lanes_per_link=int(params["lanes_per_link"]),
+        pods=int(params["pods"]),
+        groups=int(params["groups"]),
+        routers_per_group=int(params["routers_per_group"]),
+        hosts_per_router=int(params["hosts_per_router"]),
     )
     spec = WorkloadSpec(
         nodes=fabric.topology.endpoints(),
@@ -393,11 +415,24 @@ def controller_config_from_params(
             )
         }
     if controller == "loop":
-        config: Dict[str, object] = {"config": loop_config_from_params(params)}
-        if params["topology"] == "grid":
-            config["grid_rows"] = int(params["rows"])
-            config["grid_columns"] = int(params["columns"])
-        return config
+        # The loop resolves its standing candidates from the per-family
+        # registry (repro.core.candidates); every family's dimensions ride
+        # along and the family picks the ones it declares.
+        return {
+            "config": loop_config_from_params(params),
+            "topology": str(params["topology"]),
+            "topology_params": {
+                key: int(params[key])
+                for key in (
+                    "rows",
+                    "columns",
+                    "pods",
+                    "groups",
+                    "routers_per_group",
+                    "hosts_per_router",
+                )
+            },
+        }
     return {}
 
 
@@ -794,3 +829,87 @@ def _trace_replay_dense(spec: WorkloadSpec, params: Mapping[str, object]) -> Lis
                 )
             )
     return TraceReplayWorkload(spec, records).generate()
+
+
+# --------------------------------------------------------------------------- #
+# Datacenter-scale topology-family scenarios (fat-tree / dragonfly at 1k+
+# endpoints; see docs/topologies.md and tests/test_backend_fidelity.py for
+# the small-instance fluid-vs-packet tolerances)
+# --------------------------------------------------------------------------- #
+@register_scenario(
+    "fattree_uniform",
+    "Datacenter-scale uniform random burst on a 16-pod fat-tree (1024 hosts, "
+    "edge/aggregation/core Clos)",
+    workload="uniform-random",
+    topology="fat-tree",
+    pods=16,
+    mean_flow_mb=0.5,
+    num_flows=2048,
+)
+def _fattree_uniform(spec: WorkloadSpec, params: Mapping[str, object]) -> List[Flow]:
+    return UniformRandomWorkload(spec, num_flows=int(params["num_flows"])).generate()
+
+
+@register_scenario(
+    "fattree_incast",
+    "Wide staggered incast on a 16-pod fat-tree: `fan_in` hosts across pods "
+    "converge on one receiver's edge uplink",
+    workload="incast",
+    topology="fat-tree",
+    pods=16,
+    mean_flow_mb=0.5,
+    fan_in=256,
+    stagger_us=5.0,
+)
+def _fattree_incast(spec: WorkloadSpec, params: Mapping[str, object]) -> List[Flow]:
+    nodes = list(spec.nodes)
+    fan_in = int(params["fan_in"])
+    if not 1 <= fan_in < len(nodes):
+        raise ScenarioError(
+            f"fan_in must be in [1, {len(nodes) - 1}] for this fabric, got {fan_in}"
+        )
+    return IncastWorkload(
+        spec,
+        receiver=nodes[-1],
+        senders=nodes[:fan_in],
+        stagger=microseconds(float(params["stagger_us"])),
+    ).generate()
+
+
+@register_scenario(
+    "dragonfly_permutation",
+    "Adversarial permutation on a 16x8x8 dragonfly (1024 hosts): derangement "
+    "traffic stressing the one-link-per-group-pair global plane",
+    workload="permutation",
+    topology="dragonfly",
+    groups=16,
+    routers_per_group=8,
+    hosts_per_router=8,
+    mean_flow_mb=0.5,
+)
+def _dragonfly_permutation(spec: WorkloadSpec, params: Mapping[str, object]) -> List[Flow]:
+    return PermutationWorkload(spec).generate()
+
+
+@register_scenario(
+    "dragonfly_hotspot",
+    "Hot random host pairs over uniform background on a 16x8x8 dragonfly, "
+    "with the control loop free to re-home global links",
+    workload="hotspot",
+    topology="dragonfly",
+    controller="loop",
+    groups=16,
+    routers_per_group=8,
+    hosts_per_router=8,
+    mean_flow_mb=0.5,
+    num_flows=2048,
+    hot_fraction=0.7,
+    num_hot_pairs=8,
+)
+def _dragonfly_hotspot(spec: WorkloadSpec, params: Mapping[str, object]) -> List[Flow]:
+    return HotspotWorkload(
+        spec,
+        num_flows=int(params["num_flows"]),
+        hot_fraction=float(params["hot_fraction"]),
+        num_hot_pairs=int(params["num_hot_pairs"]),
+    ).generate()

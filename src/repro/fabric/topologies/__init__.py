@@ -1,0 +1,48 @@
+"""Topology families: the pluggable registry of buildable fabric shapes.
+
+* :mod:`repro.fabric.topologies.registry` -- the :class:`TopologyFamily`
+  interface, the :func:`register_topology` decorator and the name-based
+  build/metadata dispatch every experiment surface funnels through.
+* :mod:`repro.fabric.topologies.families` -- the built-in families: the
+  paper's ``grid``/``torus`` rack shapes plus the datacenter-scale
+  ``fat-tree`` (k-pod folded Clos) and ``dragonfly`` (groups x routers x
+  hosts, all-to-all global links).
+
+Each family's legal reconfiguration moves live in the candidate registry
+(:mod:`repro.core.candidates`), keyed by the family name stamped on built
+topologies.
+"""
+
+from repro.fabric.topologies.registry import (
+    TopologyError,
+    TopologyFamily,
+    TopologyMetadata,
+    build_topology_fabric,
+    get_topology,
+    register_topology,
+    topology_catalog,
+    topology_metadata,
+    topology_names,
+)
+from repro.fabric.topologies.families import (
+    DragonflyFamily,
+    FatTreeFamily,
+    GridFamily,
+    TorusFamily,
+)
+
+__all__ = [
+    "TopologyError",
+    "TopologyFamily",
+    "TopologyMetadata",
+    "build_topology_fabric",
+    "get_topology",
+    "register_topology",
+    "topology_catalog",
+    "topology_metadata",
+    "topology_names",
+    "DragonflyFamily",
+    "FatTreeFamily",
+    "GridFamily",
+    "TorusFamily",
+]

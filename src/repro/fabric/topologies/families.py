@@ -1,0 +1,216 @@
+"""The built-in topology families: grid, torus, fat-tree, dragonfly.
+
+``grid`` and ``torus`` re-register the paper's original rack shapes (their
+builders are byte-for-byte the ones the pre-registry harness called, so
+every existing grid/torus experiment stays bit-identical); ``fat-tree``
+and ``dragonfly`` extend the testbed to the datacenter-scale families the
+ROADMAP names -- the k-pod folded Clos and the group/router/host dragonfly
+with all-to-all global links.
+
+Every family declares its shape in closed form (endpoint, switch and link
+counts, hop diameter and the insertion-order bisection of
+:meth:`~repro.fabric.topology.Topology.bisection_bandwidth_bps`); the
+Hypothesis suite pins the declarations to the built graphs across
+randomized valid dimensions.
+"""
+
+from __future__ import annotations
+
+from repro.fabric.topologies.registry import (
+    TopologyBuilder,
+    TopologyError,
+    TopologyMetadata,
+    register_topology,
+    TopologyFamily,
+)
+from repro.fabric.topology import Topology
+
+
+def _mesh_bisection_links(rows: int, columns: int, wraparound: bool) -> int:
+    """Crossing-link count of the insertion-order endpoint bisection.
+
+    Grid/torus endpoints are the nodes themselves in row-major insertion
+    order, so the half-set is simply ``index < (rows * columns) // 2`` and
+    every edge can be classified with integer arithmetic -- no graph.
+    """
+    half = (rows * columns) // 2
+
+    def crosses(first: int, second: int) -> bool:
+        return (first < half) != (second < half)
+
+    count = 0
+    for row in range(rows):
+        for column in range(columns):
+            index = row * columns + column
+            if column + 1 < columns and crosses(index, index + 1):
+                count += 1
+            if row + 1 < rows and crosses(index, index + columns):
+                count += 1
+    if wraparound:
+        if columns > 2:
+            for row in range(rows):
+                if crosses(row * columns, row * columns + columns - 1):
+                    count += 1
+        if rows > 2:
+            for column in range(columns):
+                if crosses(column, (rows - 1) * columns + column):
+                    count += 1
+    return count
+
+
+class _MeshFamily(TopologyFamily):
+    """Shared grid/torus behaviour (both are 2-D sled meshes)."""
+
+    family = "mesh"
+    size_formula = "rows * columns"
+    parameters = ("rows", "columns")
+    _wraparound = False
+
+    def validate(self, rows: int, columns: int) -> None:
+        if rows < 2 or columns < 2:
+            raise TopologyError(
+                f"topology {self.name!r}: rows and columns must both be >= 2"
+            )
+
+    def metadata(
+        self, link_capacity_bps: float, rows: int, columns: int
+    ) -> TopologyMetadata:
+        links = rows * (columns - 1) + columns * (rows - 1)
+        diameter = (rows - 1) + (columns - 1)
+        if self._wraparound:
+            links += (rows if columns > 2 else 0) + (columns if rows > 2 else 0)
+            diameter = rows // 2 + columns // 2
+        bisection = _mesh_bisection_links(rows, columns, self._wraparound)
+        return TopologyMetadata(
+            name=self.name,
+            endpoints=rows * columns,
+            switches=0,
+            links=links,
+            diameter_hops=diameter,
+            bisection_links=bisection,
+            bisection_bandwidth_bps=bisection * link_capacity_bps,
+        )
+
+
+@register_topology
+class GridFamily(_MeshFamily):
+    """2-D grid of sleds, the paper's initial rack configuration."""
+
+    name = "grid"
+    description = "2-D sled grid (the paper's initial rack configuration)"
+
+    def build_topology(
+        self, builder: TopologyBuilder, rows: int, columns: int
+    ) -> Topology:
+        return builder.grid(rows, columns)
+
+
+@register_topology
+class TorusFamily(_MeshFamily):
+    """2-D torus, the grid-to-torus reconfiguration target."""
+
+    name = "torus"
+    description = "2-D torus (grid plus wrap-around links, the Figure 2 target)"
+    _wraparound = True
+
+    def build_topology(
+        self, builder: TopologyBuilder, rows: int, columns: int
+    ) -> Topology:
+        return builder.torus(rows, columns)
+
+
+@register_topology
+class FatTreeFamily(TopologyFamily):
+    """k-pod folded Clos: pods^3/4 hosts under edge/aggregation/core tiers."""
+
+    name = "fat-tree"
+    family = "clos"
+    description = "k-pod folded Clos (edge/aggregation/core, pods^3/4 hosts)"
+    size_formula = "pods^3 / 4"
+    parameters = ("pods",)
+
+    def validate(self, pods: int) -> None:
+        if pods < 2 or pods % 2 != 0:
+            raise TopologyError(
+                f"topology 'fat-tree': pods must be an even number >= 2, got {pods}"
+            )
+
+    def build_topology(self, builder: TopologyBuilder, pods: int) -> Topology:
+        return builder.fat_tree(pods)
+
+    def metadata(self, link_capacity_bps: float, pods: int) -> TopologyMetadata:
+        half = pods // 2
+        hosts = pods * half * half
+        # Host uplinks, edge<->aggregation and aggregation<->core tiers are
+        # the same count: pods * (pods/2)^2 links each.
+        tier = pods * half * half
+        bisection = hosts // 2
+        return TopologyMetadata(
+            name=self.name,
+            endpoints=hosts,
+            switches=half * half + pods * half * 2,
+            links=3 * tier,
+            diameter_hops=6,  # host-edge-agg-core-agg-edge-host
+            bisection_links=bisection,
+            bisection_bandwidth_bps=bisection * link_capacity_bps,
+        )
+
+
+@register_topology
+class DragonflyFamily(TopologyFamily):
+    """Dragonfly: all-to-all routers per group, one global link per group pair."""
+
+    name = "dragonfly"
+    family = "dragonfly"
+    description = (
+        "dragonfly (all-to-all routers per group, one global link per group pair)"
+    )
+    size_formula = "groups * routers_per_group * hosts_per_router"
+    parameters = ("groups", "routers_per_group", "hosts_per_router")
+
+    def validate(
+        self, groups: int, routers_per_group: int, hosts_per_router: int
+    ) -> None:
+        if groups < 2:
+            raise TopologyError(
+                f"topology 'dragonfly': groups must be >= 2, got {groups}"
+            )
+        if routers_per_group < 1 or hosts_per_router < 1:
+            raise TopologyError(
+                "topology 'dragonfly': routers_per_group and hosts_per_router "
+                f"must be >= 1, got {routers_per_group} and {hosts_per_router}"
+            )
+
+    def build_topology(
+        self,
+        builder: TopologyBuilder,
+        groups: int,
+        routers_per_group: int,
+        hosts_per_router: int,
+    ) -> Topology:
+        return builder.dragonfly(groups, routers_per_group, hosts_per_router)
+
+    def metadata(
+        self,
+        link_capacity_bps: float,
+        groups: int,
+        routers_per_group: int,
+        hosts_per_router: int,
+    ) -> TopologyMetadata:
+        hosts = groups * routers_per_group * hosts_per_router
+        local = groups * routers_per_group * (routers_per_group - 1) // 2
+        global_links = groups * (groups - 1) // 2
+        # With >= 2 routers per group the rotated global attachment leaves
+        # host pairs that need the full local-global-local traversal; with
+        # one router per group the router plane is a complete graph.
+        diameter = 5 if routers_per_group >= 2 else 3
+        bisection = hosts // 2
+        return TopologyMetadata(
+            name=self.name,
+            endpoints=hosts,
+            switches=groups * routers_per_group,
+            links=hosts + local + global_links,
+            diameter_hops=diameter,
+            bisection_links=bisection,
+            bisection_bandwidth_bps=bisection * link_capacity_bps,
+        )

@@ -62,6 +62,15 @@ class Topology:
         self._graph = nx.Graph()
         self._nodes: Dict[str, Node] = {}
         self._links: Dict[LinkKey, Link] = {}
+        #: Registered topology-family name this graph was built as (e.g.
+        #: ``"grid"``, ``"fat-tree"``) and the dimensions it was built with.
+        #: ``None``/empty for hand-assembled topologies.  Reconfiguration
+        #: candidates consult these to refuse fabrics they do not apply to;
+        #: the tags record how the fabric was *built*, so they deliberately
+        #: survive runtime reconfiguration (a grid that grew wrap-around
+        #: links is still the grid family's fabric).
+        self.kind: Optional[str] = None
+        self.dimensions: Dict[str, int] = {}
 
     # ------------------------------------------------------------------ #
     # Nodes
@@ -222,6 +231,8 @@ class Topology:
         """A deep-ish copy: node objects are shared, link objects are rebuilt
         with fresh lanes in the same configuration."""
         clone = Topology(name=name if name is not None else f"{self.name}-copy")
+        clone.kind = self.kind
+        clone.dimensions = dict(self.dimensions)
         for node in self.nodes():
             clone.add_node(node)
         for (a, b), link in self._links.items():
@@ -374,6 +385,8 @@ class TopologyBuilder:
         if wraparound:
             for row, column_pair in self.torus_wraparound_pairs(rows, columns):
                 self._make_link(topology, row, column_pair)
+        topology.kind = "torus" if wraparound else "grid"
+        topology.dimensions = {"rows": rows, "columns": columns}
         return topology
 
     def torus(self, rows: int, columns: int, name: Optional[str] = None) -> Topology:
@@ -498,7 +511,89 @@ class TopologyBuilder:
                     host_index += 1
                     topology.add_node(self._make_node(host_name, position=(pod, host_index)))
                     self._make_link(topology, host_name, edge_name)
+        topology.kind = "fat-tree"
+        topology.dimensions = {"pods": pods}
         return topology
+
+    def dragonfly(
+        self,
+        groups: int = 4,
+        routers_per_group: int = 4,
+        hosts_per_router: int = 2,
+        name: Optional[str] = None,
+    ) -> Topology:
+        """A single-level dragonfly: all-to-all routers inside each group,
+        exactly one global link between every pair of groups.
+
+        The global link between groups ``i < j`` attaches to router
+        ``(j - 1) % a`` in group *i* and router ``i % a`` in group *j*
+        (``a`` = routers per group) -- a rotation that spreads the global
+        plane across routers, so with ``a >= 2`` some host pairs genuinely
+        need the full 5-hop path (host, local router, two global-attached
+        routers, local router, host) and the family diameter is exact.
+        """
+        if groups < 2:
+            raise ValueError("a dragonfly needs at least 2 groups")
+        if routers_per_group < 1 or hosts_per_router < 1:
+            raise ValueError("routers_per_group and hosts_per_router must be >= 1")
+        if name is None:
+            name = f"dragonfly-{groups}x{routers_per_group}x{hosts_per_router}"
+        topology = Topology(name=name)
+        for group in range(groups):
+            for router in range(routers_per_group):
+                topology.add_node(
+                    self._make_node(
+                        self.dragonfly_router_name(group, router),
+                        node_type=NodeType.SWITCH,
+                        radix=routers_per_group - 1 + groups - 1 + hosts_per_router,
+                    )
+                )
+        for group in range(groups):
+            for router in range(routers_per_group):
+                router_name = self.dragonfly_router_name(group, router)
+                for host in range(hosts_per_router):
+                    host_name = f"h{group}_{router}_{host}"
+                    topology.add_node(self._make_node(host_name))
+                    self._make_link(topology, host_name, router_name)
+        for group in range(groups):
+            for a, b in itertools.combinations(range(routers_per_group), 2):
+                self._make_link(
+                    topology,
+                    self.dragonfly_router_name(group, a),
+                    self.dragonfly_router_name(group, b),
+                )
+        for a, b in self.dragonfly_global_pairs(groups, routers_per_group):
+            self._make_link(topology, a, b)
+        topology.kind = "dragonfly"
+        topology.dimensions = {
+            "groups": groups,
+            "routers_per_group": routers_per_group,
+            "hosts_per_router": hosts_per_router,
+        }
+        return topology
+
+    @staticmethod
+    def dragonfly_router_name(group: int, router: int) -> str:
+        """Canonical name of dragonfly router *router* in *group*."""
+        return f"r{group}_{router}"
+
+    @staticmethod
+    def dragonfly_global_pairs(groups: int, routers_per_group: int) -> List[Tuple[str, str]]:
+        """The one global link per group pair, with rotated attachment.
+
+        This is both the builder's wiring list and the reference point of
+        the dragonfly re-homing move: the candidate re-deploys harvested
+        local lanes as additional global links attached one router over.
+        """
+        pairs: List[Tuple[str, str]] = []
+        for i, j in itertools.combinations(range(groups), 2):
+            pairs.append(
+                (
+                    TopologyBuilder.dragonfly_router_name(i, (j - 1) % routers_per_group),
+                    TopologyBuilder.dragonfly_router_name(j, i % routers_per_group),
+                )
+            )
+        return pairs
 
     # ------------------------------------------------------------------ #
     # Named registry (used by the CLI and experiment configs)
@@ -514,6 +609,7 @@ class TopologyBuilder:
             "star": self.star,
             "hypercube": self.hypercube,
             "fat-tree": self.fat_tree,
+            "dragonfly": self.dragonfly,
         }
         if kind not in builders:
             raise KeyError(f"unknown topology kind {kind!r}; known: {sorted(builders)}")

@@ -98,13 +98,61 @@ LOOP_TOLERANCES = {
     "failure_recovery": (0.10, 0.10),
 }
 
+#: Shrunk instances for the non-mesh topology-family scenarios: the gate is
+#: about model agreement, so the 1k-endpoint defaults are scaled down to a
+#: few dozen hosts.  Both backends see the same overrides, keeping the
+#: derived seed (and flow list) identical per scenario.
+TOPOLOGY_SCENARIO_OVERRIDES = {
+    "fattree_uniform": {"pods": 4, "num_flows": 48},
+    "fattree_incast": {"pods": 4, "fan_in": 8},
+    "dragonfly_permutation": {
+        "groups": 3, "routers_per_group": 3, "hosts_per_router": 2,
+    },
+    "dragonfly_hotspot": {
+        "groups": 3, "routers_per_group": 3, "hosts_per_router": 2,
+        "num_flows": 36,
+    },
+}
+
+#: Declared fluid-vs-packet divergence budgets for the topology-family
+#: scenarios (same columns and review rule as :data:`TOLERANCES`), gated on
+#: the shrunk instances above.  Multi-hop switch fabrics queue at every
+#: tier on the packet side, so the FCT envelope sits near the mesh
+#: scenarios' upper range; measured divergence with ~1.5-2x headroom.
+TOPOLOGY_TOLERANCES = {
+    "fattree_uniform": (0.25, 0.10),       # measured 0.140 / 0.026
+    "fattree_incast": (0.30, 0.10),        # measured 0.183 / 0.041
+    "dragonfly_permutation": (0.10, 0.12),  # measured 0.034 / 0.051
+    "dragonfly_hotspot": (0.10, 0.10),     # measured 0.004 / 0.005
+}
+
+#: Open-loop controllers every topology-family scenario is gated under; the
+#: closed loop is additionally gated on ``dragonfly_hotspot`` (its default
+#: controller, exercising the global-link-rehome candidate end to end).
+TOPOLOGY_CONTROLLERS = ("none", "ecmp")
+
+#: Closed-loop budget for the dragonfly gate leg.  The global-link-rehome
+#: plan CREATEs new global links at backend-specific instants, so the mean
+#: per-link utilisation is averaged over a different link census on each
+#: backend -- the utilisation envelope is wide for the same reason the
+#: :data:`LOOP_TOLERANCES` envelopes are (measured 0.004 / 0.523).
+TOPOLOGY_LOOP_TOLERANCES = {
+    "dragonfly_hotspot": (0.10, 0.80),
+}
+
 
 def small_scenarios():
-    """Every registered scenario on a small (<= 3x3) default fabric."""
+    """Every registered grid/torus scenario on a small (<= 3x3) default fabric.
+
+    Non-mesh topology families (fat-tree, dragonfly) default to 1k-endpoint
+    fabrics and are gated separately on shrunk instances
+    (:data:`TOPOLOGY_TOLERANCES` / :data:`TOPOLOGY_SCENARIO_OVERRIDES`).
+    """
     return [
         scenario
         for scenario in list_scenarios()
-        if int(scenario.parameters()["rows"]) * int(scenario.parameters()["columns"]) <= 9
+        if scenario.parameters()["topology"] in ("grid", "torus")
+        and int(scenario.parameters()["rows"]) * int(scenario.parameters()["columns"]) <= 9
     ]
 
 
@@ -112,11 +160,12 @@ def _transport_for(scenario):
     return JUMBO_TRANSPORT if scenario.workload == "disaggregated-storage" else None
 
 
-def _run(scenario, controller, backend, base_seed=0):
+def _run(scenario, controller, backend, base_seed=0, extra_overrides=None):
     """One leg of the gate, via the same single entrypoint everything uses."""
-    params = resolve_params(
-        scenario, dict(BASE_OVERRIDES, controller=controller, backend=backend)
-    )
+    overrides = dict(BASE_OVERRIDES, controller=controller, backend=backend)
+    if extra_overrides:
+        overrides.update(extra_overrides)
+    params = resolve_params(scenario, overrides)
     seed = derive_run_seed(base_seed, scenario.name, params)
     fabric, flows, failure_events = materialize_run(scenario, params, seed)
     return run_experiment(
@@ -148,6 +197,26 @@ def test_every_small_scenario_declares_a_tolerance():
         "small-scenario registry and the fidelity tolerance table diverged; "
         f"missing={sorted(names - set(TOLERANCES))}, "
         f"stale={sorted(set(TOLERANCES) - names)}"
+    )
+
+
+def test_every_topology_scenario_declares_a_tolerance():
+    """A scenario on a non-mesh topology family must declare both its
+    fluid-vs-packet tolerance and the shrunk instance it is gated on."""
+    names = {
+        scenario.name
+        for scenario in list_scenarios()
+        if scenario.parameters()["topology"] not in ("grid", "torus")
+    }
+    assert names == set(TOPOLOGY_TOLERANCES), (
+        "topology-family scenarios and the fidelity tolerance table diverged; "
+        f"missing={sorted(names - set(TOPOLOGY_TOLERANCES))}, "
+        f"stale={sorted(set(TOPOLOGY_TOLERANCES) - names)}"
+    )
+    assert names == set(TOPOLOGY_SCENARIO_OVERRIDES), (
+        "topology-family scenarios and the shrunk-instance table diverged; "
+        f"missing={sorted(names - set(TOPOLOGY_SCENARIO_OVERRIDES))}, "
+        f"stale={sorted(set(TOPOLOGY_SCENARIO_OVERRIDES) - names)}"
     )
 
 
@@ -223,6 +292,27 @@ def test_backends_agree_within_declared_tolerance(name, controller):
     fluid = _run(scenario, controller, "fluid")
     packet = _run(scenario, controller, "packet")
     fct_tol, util_tol = TOLERANCES[name]
+    _assert_backends_agree(name, controller, fluid, packet, fct_tol, util_tol)
+
+
+@pytest.mark.parametrize(
+    "name,controller",
+    [
+        (name, controller)
+        for name in sorted(TOPOLOGY_TOLERANCES)
+        for controller in TOPOLOGY_CONTROLLERS
+    ]
+    + [("dragonfly_hotspot", "loop")],
+)
+def test_topology_scenario_backends_agree(name, controller):
+    """The fat-tree/dragonfly scenarios hold the same fluid-vs-packet
+    contract as the mesh catalog, on their declared shrunk instances."""
+    scenario = get_scenario(name)
+    extra = TOPOLOGY_SCENARIO_OVERRIDES[name]
+    fluid = _run(scenario, controller, "fluid", extra_overrides=extra)
+    packet = _run(scenario, controller, "packet", extra_overrides=extra)
+    table = TOPOLOGY_LOOP_TOLERANCES if controller == "loop" else TOPOLOGY_TOLERANCES
+    fct_tol, util_tol = table[name]
     _assert_backends_agree(name, controller, fluid, packet, fct_tol, util_tol)
 
 

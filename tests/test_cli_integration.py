@@ -81,6 +81,19 @@ def test_cli_list_controllers_enumerates_registry(capsys):
         assert name in output
 
 
+def test_cli_list_topologies_enumerates_registry(capsys):
+    from repro.core.candidates import candidate_moves
+    from repro.fabric.topologies import topology_names
+
+    assert main(["list-topologies"]) == 0
+    output = capsys.readouterr().out
+    for name in topology_names():
+        assert name in output
+        for move in candidate_moves(name):
+            assert move in output
+    assert "pods^3 / 4" in output  # the size formula column
+
+
 def test_cli_run_prints_json_row(capsys):
     import json
 

@@ -19,7 +19,7 @@ import math
 
 import pytest
 
-from repro.experiments.scenarios import run_scenario, scenario_names
+from repro.experiments.scenarios import ScenarioError, run_scenario, scenario_names
 from repro.sim.flow import Flow, reset_flow_ids
 from repro.sim.fluid import FluidFlowSimulator
 
@@ -27,10 +27,21 @@ CONTROLLERS = ("none", "static", "ecmp", "crc", "loop")
 
 #: Downsizing overrides so the reference oracle finishes in test time.
 #: Workload-affecting keys perturb the derived seed identically for both
-#: allocators, so parity still compares like against like.
+#: allocators, so parity still compares like against like.  The topology-
+#: family scenarios default to 1024 hosts; they shrink here to the same
+#: dimensions the fidelity gate uses (``tests/test_backend_fidelity.py``).
 SCENARIO_OVERRIDES = {
     "rack_scale_uniform": {"rows": 4, "columns": 4, "num_flows": 48},
     "trace_replay_dense": {"rows": 3, "columns": 3, "waves": 3},
+    "fattree_uniform": {"pods": 4, "num_flows": 48},
+    "fattree_incast": {"pods": 4, "fan_in": 8},
+    "dragonfly_permutation": {"groups": 3, "routers_per_group": 3, "hosts_per_router": 2},
+    "dragonfly_hotspot": {
+        "groups": 3,
+        "routers_per_group": 3,
+        "hosts_per_router": 2,
+        "num_flows": 36,
+    },
 }
 
 
@@ -44,7 +55,14 @@ def _run(name, controller, allocator):
 @pytest.mark.parametrize("name", scenario_names())
 def test_scenario_metrics_bit_identical_across_allocators(name):
     for controller in CONTROLLERS:
-        reference = _run(name, controller, "reference")
+        # A controller a scenario rejects (crc is grid/torus-only) must be
+        # rejected identically by both allocators -- that's parity too.
+        try:
+            reference = _run(name, controller, "reference")
+        except ScenarioError:
+            with pytest.raises(ScenarioError):
+                _run(name, controller, "incremental")
+            continue
         incremental = _run(name, controller, "incremental")
         assert reference["seed"] == incremental["seed"], controller
         assert reference["metrics"] == incremental["metrics"], (

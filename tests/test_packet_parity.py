@@ -24,6 +24,7 @@ import pytest
 from repro.experiments.api import ExperimentSpec, run_experiment
 from repro.experiments.harness import build_grid_fabric
 from repro.experiments.scenarios import (
+    ScenarioError,
     controller_config_from_params,
     derive_run_seed,
     list_scenarios,
@@ -46,9 +47,25 @@ BASE_OVERRIDES = {"mean_flow_mb": 0.05}
 #: ``mean_flow_mb``; a jumbo MTU keeps their packetised legs in test time.
 JUMBO_TRANSPORT = TransportConfig(mtu_bytes=9000.0)
 
+#: The topology-family scenarios default to 1024 hosts (their unused
+#: ``rows``/``columns`` defaults slip past the 3x3 filter); shrink them to
+#: the same dimensions the fidelity gate uses so the packetised legs fit
+#: in test time.
+SCENARIO_OVERRIDES = {
+    "fattree_uniform": {"pods": 4, "num_flows": 48},
+    "fattree_incast": {"pods": 4, "fan_in": 8},
+    "dragonfly_permutation": {"groups": 3, "routers_per_group": 3, "hosts_per_router": 2},
+    "dragonfly_hotspot": {
+        "groups": 3,
+        "routers_per_group": 3,
+        "hosts_per_router": 2,
+        "num_flows": 36,
+    },
+}
+
 
 def small_scenarios():
-    """Every registered scenario on a small (<= 3x3) default fabric."""
+    """Every registered scenario on a small default (or shrunk) fabric."""
     return [
         scenario
         for scenario in list_scenarios()
@@ -61,10 +78,9 @@ def _transport_for(scenario):
 
 
 def _scenario_record(scenario, controller, engine):
-    params = resolve_params(
-        scenario,
-        dict(BASE_OVERRIDES, controller=controller, backend="packet", engine=engine),
-    )
+    overrides = dict(BASE_OVERRIDES, **SCENARIO_OVERRIDES.get(scenario.name, {}))
+    overrides.update(controller=controller, backend="packet", engine=engine)
+    params = resolve_params(scenario, overrides)
     seed = derive_run_seed(3, scenario.name, params)
     fabric, flows, failure_events = materialize_run(scenario, params, seed)
     record = run_experiment(
@@ -102,7 +118,14 @@ def _record_snapshot(record):
 @pytest.mark.parametrize("scenario", small_scenarios(), ids=lambda s: s.name)
 def test_scenario_metrics_bit_identical_across_engines(scenario):
     for controller in CONTROLLERS:
-        seed_event, event = _scenario_record(scenario, controller, "event")
+        # A controller a scenario rejects (crc is grid/torus-only) must be
+        # rejected identically by both engines -- that's parity too.
+        try:
+            seed_event, event = _scenario_record(scenario, controller, "event")
+        except ScenarioError:
+            with pytest.raises(ScenarioError):
+                _scenario_record(scenario, controller, "batched")
+            continue
         seed_batched, batched = _scenario_record(scenario, controller, "batched")
         assert seed_event == seed_batched, controller
         assert _record_snapshot(event) == _record_snapshot(batched), (
