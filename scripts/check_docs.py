@@ -1,63 +1,27 @@
 #!/usr/bin/env python
-"""Docs integrity check, run by the CI docs job.
+"""Compatibility shim: the docs checks moved into ``repro.lint`` rule R201.
 
-Two invariants:
+R201 keeps the original two invariants (relative markdown links resolve,
+every registered scenario is documented in docs/scenarios.md) and adds
+the registry-completeness checks (topology families declare moves or an
+exemption, fidelity tolerance tables cover the registries).  Run the
+full checker with ``python -m repro.lint``; this shim runs just R201 so
+existing ``scripts/check_docs.py`` invocations keep working.
 
-1. every relative markdown link in README.md and docs/*.md points at a
-   file that exists (anchors are stripped; external URLs are skipped), and
-2. every scenario registered in ``repro.experiments.scenarios`` appears --
-   as `` `name` `` -- in docs/scenarios.md, so the catalog page cannot
-   silently drift from the registry.
-
-Exits non-zero with one line per violation.  Needs ``PYTHONPATH=src`` (or
-an installed package) for the registry import.
+Needs ``PYTHONPATH=src`` (or an installed package), same as before.
 """
 
 from __future__ import annotations
 
-import re
 import sys
 from pathlib import Path
 
-REPO = Path(__file__).resolve().parent.parent
-#: [text](target) -- deliberately simple; code spans do not contain links.
-LINK = re.compile(r"\[[^\]]+\]\(([^)\s]+)\)")
-
-
-def check_links(errors: list) -> None:
-    pages = [REPO / "README.md", *sorted((REPO / "docs").glob("*.md"))]
-    for page in pages:
-        for target in LINK.findall(page.read_text()):
-            if re.match(r"^[a-z][a-z0-9+.-]*:", target):  # http:, mailto:, ...
-                continue
-            path = target.split("#", 1)[0]
-            if not path:  # same-page anchor
-                continue
-            resolved = (page.parent / path).resolve()
-            if not resolved.exists():
-                errors.append(
-                    f"{page.relative_to(REPO)}: broken link {target!r}"
-                )
-
-
-def check_scenarios(errors: list) -> None:
-    from repro.experiments.scenarios import scenario_names
-
-    catalog = (REPO / "docs" / "scenarios.md").read_text()
-    for name in scenario_names():
-        if f"`{name}`" not in catalog:
-            errors.append(f"docs/scenarios.md: scenario {name!r} undocumented")
-
 
 def main() -> int:
-    errors: list = []
-    check_links(errors)
-    check_scenarios(errors)
-    for error in errors:
-        print(f"error: {error}", file=sys.stderr)
-    if not errors:
-        print("docs OK: links resolve, every registered scenario documented")
-    return 1 if errors else 0
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+    from repro.lint.cli import main as lint_main
+
+    return lint_main(["--rules", "R201", *sys.argv[1:]])
 
 
 if __name__ == "__main__":

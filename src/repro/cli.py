@@ -25,6 +25,8 @@ Examples
         --grid rows=3,4 --grid controller=none,crc --workers 4 --output sweep.jsonl
     repro-fabric sweep --scenario uniform-burst --grid backend=fluid,packet \\
         --output backends.jsonl
+    repro-fabric lint --strict
+    repro-fabric lint --list-rules
 
 Every ``run``/``compare``/``sweep`` invocation goes through the single
 experiment entrypoint (:func:`repro.experiments.api.run_experiment`); the
@@ -261,6 +263,12 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint.cli import main as lint_main
+
+    return lint_main([])
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -352,14 +360,32 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--base-seed", type=int, default=0)
     sweep.set_defaults(func=_cmd_sweep)
 
+    # `lint` forwards everything verbatim to the repro.lint parser; it is
+    # intercepted in main() because argparse.REMAINDER cannot hand leading
+    # option tokens (e.g. `lint --strict`) through a subparser.  The stub
+    # here keeps the subcommand in --help.
+    lint = sub.add_parser(
+        "lint",
+        add_help=False,
+        help="static determinism/parity/units checks (see python -m repro.lint)",
+    )
+    lint.set_defaults(func=_cmd_lint)
+
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
-    parser = build_parser()
-    args = parser.parse_args(argv)
+    tokens = list(sys.argv[1:] if argv is None else argv)
     try:
+        if tokens and tokens[0] == "lint":
+            # Forward verbatim; argparse.REMAINDER cannot pass leading
+            # option tokens (e.g. `lint --strict`) through a subparser.
+            from repro.lint.cli import main as lint_main
+
+            return lint_main(tokens[1:])
+        parser = build_parser()
+        args = parser.parse_args(tokens)
         return args.func(args)
     except BrokenPipeError:
         # stdout was closed early (e.g. piped into `head`); exit quietly

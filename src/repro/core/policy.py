@@ -21,6 +21,7 @@ from repro.fabric.topology import TopologyBuilder
 from repro.phy.fec import AdaptiveFecController
 from repro.phy.power import PowerReport
 from repro.phy.stats import EwmaEstimator
+from repro.sim.units import milliseconds
 
 LinkKey = Tuple[str, str]
 
@@ -186,7 +187,7 @@ class LatencyMinimizationPolicy(ControlPolicy):
             hottest = observation.hottest_links(1)
             if hottest:
                 key, _ = hottest[0]
-                demand = topology.link_between(*key).capacity_bps * 0.001
+                demand = topology.link_between(*key).capacity_bps * milliseconds(1)
             smoothed = None
         if not self.planner.should_apply(
             plan,

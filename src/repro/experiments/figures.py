@@ -17,7 +17,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.latency import LatencyModel, media_vs_switching_series
 from repro.experiments.sweep import SweepRun, execute_runs
-from repro.sim.units import megabytes
+from repro.sim.units import megabytes, to_microseconds
 
 
 # --------------------------------------------------------------------------- #
@@ -122,7 +122,7 @@ def figure2_rows(
         "rows": rows,
         "columns": columns,
         "mean_flow_mb": flow_size_bits / megabytes(1),
-        "control_period_us": control_period * 1e6,
+        "control_period_us": to_microseconds(control_period),
     }
     return _comparison_rows(
         scenario_by_workload[workload],

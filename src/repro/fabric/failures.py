@@ -124,7 +124,7 @@ class FailureInjector:
                 link.add_lanes(replacements)
             elif replacements:
                 # Every lane failed: rebuild the bundle in place.
-                for lane, replacement in zip(link.lanes, replacements):
+                for lane, _replacement in zip(link.lanes, replacements):
                     lane.state = LaneState.ACTIVE
                     lane.raw_ber = 1e-12
 
@@ -184,7 +184,7 @@ def random_failure_plan(
     streams = RandomStreams(seed)
     link_keys = fabric.topology.link_keys()
     events: List[FailureEvent] = []
-    for index in range(num_events):
+    for _index in range(num_events):
         key = streams.choice("failure-link", link_keys)
         kind = streams.choice("failure-kind", list(kinds))
         time = streams.uniform("failure-time", 0.0, horizon)

@@ -1,0 +1,102 @@
+"""The grandfathered-findings baseline.
+
+A baseline entry acknowledges one existing violation so the lint gate can
+land before every historical finding is fixed, without letting *new*
+violations ride in behind it.  Entries key on ``(rule, path, hash of the
+stripped source line)`` rather than line numbers, so unrelated edits that
+shift a file do not invalidate the baseline -- but editing the offending
+line itself (or adding a second identical violation) surfaces immediately.
+
+Format, one entry per line (``#`` comments and blank lines ignored)::
+
+    D002 src/repro/sim/example.py 5f1d2c0a9e3b17c4 2
+
+i.e. rule, path, line-hash, and how many identical findings are excused.
+``python -m repro.lint --write-baseline`` regenerates the file from the
+current findings; every remaining entry should carry a justification
+comment.  In ``--strict`` mode a *stale* entry (one that no longer
+matches any finding) is itself an error, so the baseline can only shrink.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import Counter
+from pathlib import Path
+from typing import Dict, Iterable, List, Tuple
+
+from repro.lint.framework import Finding
+
+#: Default baseline filename, resolved against the repo root.
+BASELINE_NAME = "lint-baseline.txt"
+
+BaselineKey = Tuple[str, str, str]
+
+
+def _line_hash(source_line: str) -> str:
+    digest = hashlib.sha256(source_line.strip().encode("utf-8")).hexdigest()
+    return digest[:16]
+
+
+def finding_key(finding: Finding) -> BaselineKey:
+    """The baseline identity of one finding."""
+    return (finding.rule, finding.path, _line_hash(finding.source_line))
+
+
+def load_baseline(path: Path) -> Counter:
+    """Parse a baseline file into a ``Counter`` of keys (missing = empty)."""
+    entries: Counter = Counter()
+    if not path.exists():
+        return entries
+    for number, raw in enumerate(path.read_text().splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        parts = line.split()
+        if len(parts) != 4:
+            raise ValueError(
+                f"{path}:{number}: expected 'RULE PATH HASH COUNT', got {raw!r}"
+            )
+        rule, rel, line_hash, count = parts
+        entries[(rule, rel, line_hash)] += int(count)
+    return entries
+
+
+def write_baseline(path: Path, findings: Iterable[Finding]) -> int:
+    """Write the baseline covering *findings*; returns the entry count."""
+    counts: Counter = Counter(finding_key(f) for f in findings)
+    lines = [
+        "# repro.lint baseline: grandfathered findings, one per line as",
+        "#   RULE PATH LINE-HASH COUNT   # justification",
+        "# Keys hash the offending source line, so entries survive line-number",
+        "# drift but not edits to the violation itself.  Regenerate with",
+        "#   python -m repro.lint --write-baseline",
+        "# and justify every entry you keep; --strict fails on stale entries,",
+        "# so this file can only shrink.",
+    ]
+    for (rule, rel, line_hash), count in sorted(counts.items()):
+        lines.append(f"{rule} {rel} {line_hash} {count}")
+    path.write_text("\n".join(lines) + "\n")
+    return len(counts)
+
+
+def apply_baseline(
+    findings: Iterable[Finding], baseline: Counter
+) -> Tuple[List[Finding], List[BaselineKey]]:
+    """Split findings into (new, stale-baseline-keys).
+
+    Each baseline count excuses that many identical findings; anything
+    beyond the count is new.  Keys whose budget was not fully consumed are
+    stale -- the violation they excused no longer exists.
+    """
+    budget: Dict[BaselineKey, int] = dict(baseline)
+    new: List[Finding] = []
+    for finding in findings:
+        key = finding_key(finding)
+        remaining = budget.get(key, 0)
+        if remaining > 0:
+            budget[key] = remaining - 1
+        else:
+            new.append(finding)
+    stale = sorted(key for key, remaining in budget.items() if remaining > 0)
+    return new, stale

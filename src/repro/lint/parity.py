@@ -1,0 +1,160 @@
+"""Version-stable AST fingerprints for parity-paired functions.
+
+The repo keeps several "same arithmetic, two implementations" pairs whose
+agreement the runtime parity suites pin bit-for-bit: the fluid
+incremental allocator against its reference oracle, and the batched
+packet engine against the event engine.  Rule **D003** makes the pairing
+itself a static declaration: each :class:`ParityPair` names the two
+functions and the *fingerprint* of each side's AST at the last instant
+the pair was verified.  Editing either side changes its fingerprint and
+fails lint until the declaration in :mod:`repro.lint.parity_pairs` is
+updated -- which is exactly the reviewable act of re-asserting "I re-ran
+the parity suite over both sides".
+
+Fingerprints hash a normalised structural dump of the function body:
+
+* docstrings are stripped (prose edits never fire the rule),
+* comments and blank lines never reach the AST at all,
+* location fields and version-varying fields (``type_comment``,
+  ``type_params``) are excluded, so the same source text fingerprints
+  identically on every supported CPython (3.9-3.12).
+"""
+
+from __future__ import annotations
+
+import ast
+import copy
+import hashlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional, Tuple
+
+#: AST fields excluded from the dump: source locations plus fields that
+#: newer interpreters add to otherwise-identical syntax.
+_EXCLUDED_FIELDS = frozenset(
+    ("lineno", "col_offset", "end_lineno", "end_col_offset",
+     "type_comment", "type_params")
+)
+
+
+@dataclass(frozen=True)
+class ParityPair:
+    """One declared implementation/oracle pairing.
+
+    ``primary`` and ``oracle`` are ``"repo/relative/path.py::Qual.name"``
+    references; the fingerprints are the blessed values the lint rule
+    compares the live tree against.
+    """
+
+    name: str
+    primary: str
+    oracle: str
+    primary_fingerprint: str
+    oracle_fingerprint: str
+    rationale: str = ""
+
+    def sides(self) -> Tuple[Tuple[str, str, str], Tuple[str, str, str]]:
+        """Both sides as ``(role, reference, blessed_fingerprint)``."""
+        return (
+            ("primary", self.primary, self.primary_fingerprint),
+            ("oracle", self.oracle, self.oracle_fingerprint),
+        )
+
+
+def split_reference(reference: str) -> Tuple[str, str]:
+    """Split ``path.py::Qual.name`` into its path and qualname parts."""
+    path, sep, qualname = reference.partition("::")
+    if not sep or not qualname:
+        raise ValueError(
+            f"parity reference must look like 'path.py::Qual.name', got {reference!r}"
+        )
+    return path, qualname
+
+
+def _strip_docstring(node: ast.AST) -> None:
+    body = getattr(node, "body", None)
+    if (
+        isinstance(body, list)
+        and body
+        and isinstance(body[0], ast.Expr)
+        and isinstance(body[0].value, ast.Constant)
+        and isinstance(body[0].value.value, str)
+    ):
+        del body[0]
+
+
+def _stable_dump(node, pieces: List[str]) -> None:
+    if isinstance(node, ast.AST):
+        pieces.append(type(node).__name__)
+        pieces.append("(")
+        for name in node._fields:
+            if name in _EXCLUDED_FIELDS:
+                continue
+            pieces.append(name)
+            pieces.append("=")
+            _stable_dump(getattr(node, name, None), pieces)
+            pieces.append(",")
+        pieces.append(")")
+    elif isinstance(node, list):
+        pieces.append("[")
+        for item in node:
+            _stable_dump(item, pieces)
+            pieces.append(",")
+        pieces.append("]")
+    else:
+        pieces.append(repr(node))
+
+
+def find_function(tree: ast.Module, qualname: str):
+    """Locate a (possibly nested or method) function by dotted qualname."""
+    scope: List[ast.AST] = [tree]
+    node: Optional[ast.AST] = None
+    for part in qualname.split("."):
+        node = None
+        for candidate in scope:
+            for child in getattr(candidate, "body", []):
+                if (
+                    isinstance(
+                        child,
+                        (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef),
+                    )
+                    and child.name == part
+                ):
+                    node = child
+                    break
+            if node is not None:
+                break
+        if node is None:
+            return None
+        scope = [node]
+    if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        return node
+    return None
+
+
+def fingerprint_node(node) -> str:
+    """The normalised-AST fingerprint of one function node."""
+    # Deep-copy so stripping the docstring never mutates the caller's tree.
+    clone = copy.deepcopy(node)
+    _strip_docstring(clone)
+    pieces: List[str] = []
+    _stable_dump(clone, pieces)
+    digest = hashlib.sha256("".join(pieces).encode("utf-8")).hexdigest()
+    return digest[:16]
+
+
+def fingerprint_source(text: str, qualname: str) -> Optional[str]:
+    """Fingerprint *qualname* inside the given source text, if present."""
+    node = find_function(ast.parse(text), qualname)
+    if node is None:
+        return None
+    return fingerprint_node(node)
+
+
+def fingerprint_reference(reference: str, repo_root: Path) -> Optional[str]:
+    """Fingerprint a ``path.py::Qual.name`` reference against the repo."""
+    rel, qualname = split_reference(reference)
+    path = repo_root / rel
+    if not path.exists():
+        return None
+    return fingerprint_source(path.read_text(), qualname)

@@ -1,0 +1,5 @@
+"""Built-in rule families; importing this package registers them all."""
+
+from repro.lint.rules import determinism, parity_rule, registry_docs, units
+
+__all__ = ["determinism", "parity_rule", "registry_docs", "units"]

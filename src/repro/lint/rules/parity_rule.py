@@ -1,0 +1,130 @@
+"""Rule D003: parity-paired implementations may not drift one-sidedly.
+
+See :mod:`repro.lint.parity` for the fingerprint machinery and
+:mod:`repro.lint.parity_pairs` for the declarations this rule enforces.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Optional, Tuple
+
+from repro.lint.framework import Finding, LintRun, Rule, register_rule
+from repro.lint.parity import (
+    ParityPair,
+    find_function,
+    fingerprint_node,
+    split_reference,
+)
+from repro.lint.parity_pairs import PARITY_PAIRS
+
+
+def check_pairs(
+    pairs: Iterable[ParityPair], run: LintRun
+) -> List[Finding]:
+    """Compare every declared pair's live fingerprints to the blessed ones.
+
+    Exposed as a function (taking the pairs explicitly) so tests can
+    exercise the drift detection on synthetic pairs without touching the
+    real declarations.
+    """
+    findings: List[Finding] = []
+    for pair in pairs:
+        drifted: List[Tuple[str, str, str, int]] = []
+        broken = False
+        for role, reference, blessed in pair.sides():
+            rel, qualname = split_reference(reference)
+            live, line = _live_fingerprint(run, rel, qualname)
+            if live is None:
+                findings.append(
+                    Finding(
+                        rule="D003",
+                        path=rel,
+                        line=0,
+                        message=(
+                            f"parity pair {pair.name!r}: {role} function "
+                            f"{qualname!r} not found; update the pairing in "
+                            "src/repro/lint/parity_pairs.py"
+                        ),
+                    )
+                )
+                broken = True
+                continue
+            if live != blessed:
+                drifted.append((role, reference, live, line))
+        if broken or not drifted:
+            continue
+        partner = {"primary": "oracle", "oracle": "primary"}
+        for role, reference, live, line in drifted:
+            rel, qualname = split_reference(reference)
+            others = [d for d in drifted if d[1] != reference]
+            if others:
+                detail = (
+                    "both sides changed; re-run the parity suite and bless "
+                    f"the new fingerprints (live {role} fingerprint {live})"
+                )
+            else:
+                detail = (
+                    f"the {partner[role]} side is untouched -- update it to "
+                    "match (re-running the parity suite) or re-declare the "
+                    f"pairing with the new fingerprint {live}"
+                )
+            findings.append(
+                Finding(
+                    rule="D003",
+                    path=rel,
+                    line=line,
+                    message=(
+                        f"parity pair {pair.name!r}: {role} {qualname!r} "
+                        f"changed but {detail}; declarations live in "
+                        "src/repro/lint/parity_pairs.py "
+                        "(python -m repro.lint --print-fingerprints)"
+                    ),
+                )
+            )
+    return findings
+
+
+def _live_fingerprint(
+    run: LintRun, rel: str, qualname: str
+) -> Tuple[Optional[str], int]:
+    """Fingerprint a function from the run's parsed files (or from disk)."""
+    source = run.file(rel)
+    tree: Optional[ast.Module]
+    if source is not None:
+        tree = source.tree
+    elif run.repo_root is not None and (run.repo_root / rel).exists():
+        tree = ast.parse((run.repo_root / rel).read_text())
+    else:
+        return None, 0
+    if tree is None:
+        return None, 0
+    node = find_function(tree, qualname)
+    if node is None:
+        return None, 0
+    return fingerprint_node(node), node.lineno
+
+
+@register_rule
+class ParityPairRule(Rule):
+    """D003: an edit to one side of a declared pair fails lint.
+
+    The runtime parity suites (``test_fluid_parity.py``,
+    ``test_packet_parity.py``) only catch divergence on the scenarios they
+    run; this rule catches the *edit* itself.  Each pair declaration
+    carries the blessed fingerprint of both sides; changing either
+    function's code (docstrings and comments excluded) fails lint until
+    the declaration is updated -- a reviewable act that should accompany a
+    green parity-suite run.
+    """
+
+    code = "D003"
+    name = "parity-pair-drift"
+    rationale = (
+        "one-sided edits to implementation/oracle pairs ship silent "
+        "divergence the runtime parity gate may not cover"
+    )
+    repo_wide = True
+
+    def check_repo(self, run: LintRun) -> Iterable[Finding]:
+        return check_pairs(PARITY_PAIRS, run)

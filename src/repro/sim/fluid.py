@@ -477,8 +477,11 @@ class FluidFlowSimulator:
                 break
             if limit is not None and limit < bottleneck_share:
                 # NIC limit binds before the network bottleneck: fix every
-                # remaining flow at the limit and release capacity.
-                for flow_id in list(unassigned):
+                # remaining flow at the limit and release capacity.  Sorted
+                # so the per-link capacity subtractions happen in a
+                # hash-layout-independent order (each subtracts the same
+                # `limit`, so the floats are unchanged by the ordering).
+                for flow_id in sorted(unassigned):
                     rates[flow_id] = limit
                     for key in self._routes[flow_id]:
                         remaining_capacity[key] = max(
@@ -486,7 +489,11 @@ class FluidFlowSimulator:
                         )
                     unassigned.discard(flow_id)
                 break
-            saturated = flows_on_link[bottleneck_key] & unassigned
+            # Sorted for order stability: every member subtracts the same
+            # share from its links, so the capacity floats are identical
+            # under any iteration order -- but the order must not depend
+            # on set hash layout.
+            saturated = sorted(flows_on_link[bottleneck_key] & unassigned)
             for flow_id in saturated:
                 rates[flow_id] = bottleneck_share
                 for key in self._routes[flow_id]:
@@ -599,7 +606,11 @@ class FluidFlowSimulator:
                 for fid in unassigned:
                     rates[fid] = limit
                 break
-            saturated = members[bottleneck_key].copy()
+            # Sorted mirrors the reference's saturated pass (same constant
+            # subtrahend per link => same floats under any order) without
+            # inheriting set hash layout; sorted() also snapshots, so the
+            # discard below cannot perturb the iteration.
+            saturated = sorted(members[bottleneck_key])
             touched: Set[LinkKey] = set()
             for fid in saturated:
                 rates[fid] = bottleneck_share
@@ -612,7 +623,12 @@ class FluidFlowSimulator:
                     members[key].discard(fid)
                     touched.add(key)
             remaining[bottleneck_key] = 0.0
-            for key in touched:
+            # Registration order, not set order: link keys are strings, so
+            # iterating the set raw would vary with PYTHONHASHSEED.  Heap
+            # entries carry totally ordered keys, so push order never
+            # changes pop order -- this is hygiene, pinned by the parity
+            # suite.
+            for key in sorted(touched, key=order.__getitem__):
                 version[key] += 1
                 live = members[key]
                 if live:
