@@ -169,8 +169,16 @@ class ExperimentSpec:
         (segment trains advanced port-at-a-time, same-instant injections
         coalesced; see :mod:`repro.sim.packet_batch`).  Both are
         bit-identical -- ``tests/test_packet_parity.py`` pins every
-        metric -- so ``"batched"`` is a pure speedup.  Packet backend
-        only (the fluid backend selects its engine via ``allocator``).
+        metric -- so ``"batched"`` is a pure speedup.  ``"sharded"``
+        partitions the flows by traffic closure across up to ``shards``
+        batched cores (:mod:`repro.sim.packet_shard`), also
+        bit-identical for every shard count.  Packet backend only (the
+        fluid backend selects its engine via ``allocator``).
+    shards:
+        Spatial shard count for ``engine="sharded"`` -- an upper bound;
+        the coordinator never splits a traffic-closure component.  A
+        performance knob only: results are bit-identical for every
+        value.  Must be 1 (the default) for the other engines.
     max_events:
         Cumulative event budget for the whole run (fluid events, or packet
         backend engine events); an exhausted budget surfaces as
@@ -192,6 +200,7 @@ class ExperimentSpec:
     transport: Optional[TransportConfig] = None
     allocator: str = "incremental"
     engine: str = "event"
+    shards: int = 1
     max_events: int = 10_000_000
 
     def provenance(self) -> Dict[str, object]:
@@ -214,6 +223,7 @@ class ExperimentSpec:
             "transport": _jsonable(self.transport) if self.transport is not None else None,
             "allocator": self.allocator,
             "engine": self.engine,
+            "shards": self.shards,
             "max_events": self.max_events,
         }
 
@@ -337,10 +347,12 @@ def _build_packet(
     failure_period: float,
     max_events: int = 10_000_000,
     engine: str = "event",
+    shards: int = 1,
 ) -> Tuple[PacketBackend, Optional[FailureInjector]]:
     """Packet backend preloaded with routed flows and the failure plan."""
     backend = PacketBackend(
-        fabric, flows, transport=transport, max_events=max_events, engine=engine
+        fabric, flows, transport=transport, max_events=max_events,
+        engine=engine, shards=shards,
     )
     injector: Optional[FailureInjector] = None
     if failure_events:
@@ -388,6 +400,7 @@ def run_experiment(spec: ExperimentSpec) -> RunRecord:
             spec.failure_period,
             max_events=spec.max_events,
             engine=spec.engine,
+            shards=spec.shards,
         )
     else:
         simulator, _ = _build_fluid(

@@ -89,7 +89,8 @@ COMMON_DEFAULTS: Dict[str, object] = {
     "controller": "none",        # any registered controller name
     "backend": "fluid",          # simulation backend ("fluid"|"packet")
     "allocator": "incremental",  # fluid rate allocator ("incremental"|"reference")
-    "engine": "event",           # packet execution engine ("event"|"batched")
+    "engine": "event",           # packet engine ("event"|"batched"|"sharded")
+    "shards": 1,                 # spatial shard count (engine="sharded" only)
     "utilisation_threshold": 0.5,
     "control_period_us": 500.0,
     "mean_flow_mb": 2.0,
@@ -113,6 +114,7 @@ FABRIC_PARAM_KEYS = frozenset(
         "backend",
         "allocator",
         "engine",
+        "shards",
         "utilisation_threshold",
         "control_period_us",
     }
@@ -308,6 +310,13 @@ def resolve_params(
             f"engine must be one of {sorted(PACKET_ENGINES)}, "
             f"got {params['engine']!r}"
         )
+    if int(params["shards"]) < 1:
+        raise ScenarioError(f"shards must be >= 1, got {params['shards']!r}")
+    if int(params["shards"]) > 1 and params["engine"] != "sharded":
+        raise ScenarioError(
+            f"shards={params['shards']!r} requires engine='sharded', "
+            f"got engine={params['engine']!r}"
+        )
     if params["controller"] not in controller_names():
         raise ScenarioError(
             f"controller must be one of {sorted(controller_names())}, "
@@ -465,6 +474,7 @@ def run_scenario(
             backend=str(params["backend"]),
             allocator=str(params["allocator"]),
             engine=str(params["engine"]),
+            shards=int(params["shards"]),
         )
     )
 

@@ -69,7 +69,7 @@ PARITY_PAIRS: Tuple[ParityPair, ...] = (
         name="packet-retransmit",
         primary="src/repro/sim/packet_batch.py::BatchedPacketCore._retransmit",
         oracle="src/repro/sim/transport.py::PacketTransport._retransmit",
-        primary_fingerprint="b0d16e6cb336feb7",
+        primary_fingerprint="37a6ebcdb5d9b8bd",
         oracle_fingerprint="fd26283ae06177a7",
         rationale=(
             "retransmission bookkeeping (counters, abandoned-flow "
@@ -80,13 +80,51 @@ PARITY_PAIRS: Tuple[ParityPair, ...] = (
         name="packet-forward-path",
         primary="src/repro/sim/packet_batch.py::BatchedPacketCore._process_train",
         oracle="src/repro/fabric/packetsim.py::PacketLevelNetwork._forward",
-        primary_fingerprint="4cce2f16a7aa4184",
+        primary_fingerprint="33bc9e9acfbc407a",
         oracle_fingerprint="c4163d3ff48e8e85",
         rationale=(
             "the per-hop float pipeline (queueing, tail-drop, ECN, "
             "serialization) must evolve in lock-step across the engines; "
             "the bodies differ structurally, so each side pins its own "
             "fingerprint"
+        ),
+    ),
+    ParityPair(
+        name="packet-vector-fifo-chain",
+        primary="src/repro/sim/packet_batch.py::fifo_departure_chain",
+        oracle="src/repro/fabric/packetsim.py::PacketLevelNetwork._forward",
+        primary_fingerprint="acb9255151632e98",
+        oracle_fingerprint="c4163d3ff48e8e85",
+        rationale=(
+            "the vectorised FIFO departure chain replays the event "
+            "engine's accumulate/subtract/add order elementwise; its "
+            "prefix-commit caller assumes each committed element is "
+            "bitwise what the scalar loop would produce"
+        ),
+    ),
+    ParityPair(
+        name="packet-vector-advance",
+        primary="src/repro/sim/packet_batch.py::BatchedPacketCore._vector_advance",
+        oracle="src/repro/sim/packet_batch.py::BatchedPacketCore._process_train",
+        primary_fingerprint="c2d3f3820c598f40",
+        oracle_fingerprint="33bc9e9acfbc407a",
+        rationale=(
+            "the vector pass commits a prefix of exactly the states the "
+            "scalar train loop would reach (clock, busy_until, counters, "
+            "sample folds); an edit to either advance path must re-prove "
+            "the consistency-check truncation rules"
+        ),
+    ),
+    ParityPair(
+        name="packet-segment-layout",
+        primary="src/repro/sim/packet_batch.py::BatchedPacketCore.__init__",
+        oracle="src/repro/sim/transport.py::segment_layout",
+        primary_fingerprint="0d5a4c6dbf97cdb0",
+        oracle_fingerprint="3b50aa2f884b6368",
+        rationale=(
+            "both engines segment flows through the shared "
+            "segment_layout helper; the batched constructor must keep "
+            "calling it (the segment grid defines every later float)"
         ),
     ),
 )

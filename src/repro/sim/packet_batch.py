@@ -75,6 +75,7 @@ packets is not supported (use the event engine for that).
 from __future__ import annotations
 
 import math
+from bisect import bisect_left, bisect_right
 from dataclasses import replace as _dataclass_replace
 from heapq import heappop, heappush
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
@@ -85,7 +86,11 @@ from repro.sim.engine import SimulationError
 from repro.sim.flow import Flow
 from repro.sim.packet import HopRecord, Packet
 from repro.sim.trace import NullTrace, TraceRecorder
-from repro.sim.transport import FlowTransportState, TransportConfig
+from repro.sim.transport import (
+    FlowTransportState,
+    TransportConfig,
+    segment_layout,
+)
 
 DirectedKey = Tuple[str, str]
 
@@ -167,6 +172,36 @@ def _suffix(train: tuple, i: int) -> tuple:
     )
 
 
+def fifo_departure_chain(ready, ser, busy0):
+    """Departure chain of a FIFO run, by the event engine's operation order.
+
+    ``ready[i]`` is segment *i*'s head-available instant at the port
+    (arrival plus switching latency beyond hop 0), ``ser[i]`` its
+    serialization time, and *busy0* the port's drain deadline before the
+    run.  Returns ``(acc, queueing, start_tx, dep)``: ``acc`` is the
+    running drain deadline -- ``np.add.accumulate`` is a sequential left
+    fold, identical to the scalar busy-until chain -- ``queueing`` each
+    segment's wait against it, ``start_tx`` its transmit start, and
+    ``dep`` its departure computed by the scalar operation order
+    ``(ready + (busy - ready)) + ser``.  Both ``dep`` and ``acc`` are
+    returned because the two operation orders are not bitwise-guaranteed
+    to agree: the caller commits only the prefix on which they do.  The
+    declared parity pair with ``PacketLevelNetwork._forward`` (D003,
+    ``src/repro/lint/parity_pairs.py``) pins this helper to the event
+    engine's per-hop float pipeline.
+    """
+    n = ser.shape[0]
+    r0 = ready[0]
+    acc = np.empty(n + 1)
+    acc[0] = busy0 if busy0 > r0 else r0
+    acc[1:] = ser
+    np.add.accumulate(acc, out=acc)
+    queueing = acc[:n] - ready
+    start_tx = ready + queueing
+    dep = start_tx + ser
+    return acc, queueing, start_tx, dep
+
+
 class BatchedPacketCore:
     """Fused calendar + forwarding plane + transport for ``engine="batched"``.
 
@@ -229,6 +264,13 @@ class BatchedPacketCore:
         self.delivered: List[Packet] = []
         self.dropped: List[Packet] = []
         self.queueing_samples: List[float] = []
+        #: Optional ``(time, size_bits)`` append-logs, parallel to the
+        #: ``queueing_samples`` / ``retransmitted_bits`` accumulation
+        #: order.  ``None`` (the default) disables them; the sharded
+        #: coordinator enables them on its member cores so the global
+        #: left folds can be replayed in merged event order.
+        self.delivery_log: Optional[List[Tuple[float, float]]] = None
+        self.retransmit_log: Optional[List[Tuple[float, float]]] = None
         self.packets_injected = 0
         self.packets_entered = 0
         self.in_flight = 0
@@ -250,8 +292,7 @@ class BatchedPacketCore:
         self._unfinished = 0
         mtu = self.config.mtu_bits
         for flow in flows:
-            total = max(1, int(math.ceil(flow.size_bits / mtu - 1e-12)))
-            last = flow.size_bits - (total - 1) * mtu
+            total, last = segment_layout(flow.size_bits, mtu)
             path = _Path(route_fn(flow))
             if path[0] != flow.src or path[-1] != flow.dst:
                 raise ValueError(
@@ -692,7 +733,10 @@ class BatchedPacketCore:
             self._settle(state)
             return
         self.retransmissions += 1
-        self.retransmitted_bits += state.size_of(seg)
+        size = state.size_of(seg)
+        self.retransmitted_bits += size
+        if self.retransmit_log is not None:
+            self.retransmit_log.append((self._now, size))
         segs: List[int] = []
         sizes: List[float] = []
         pids: List[int] = []
@@ -873,6 +917,8 @@ class BatchedPacketCore:
                     self.in_flight -= 1
                     self.bits_delivered += size
                     self.queueing_samples.append(q_acc)
+                    if self.delivery_log is not None:
+                        self.delivery_log.append((t, size))
                     flow = state.flow
                     state.outstanding -= 1
                     state.delivered_segments += 1
@@ -1128,98 +1174,131 @@ class BatchedPacketCore:
 
     def _vector_advance(self, train, ctx, until, last_hop, fwd_latency,
                         c_times, c_seqs, c_queue, c_keep) -> int:
-        """Vectorised whole-train FIFO advancement (the numpy fast path).
+        """Vectorised FIFO advancement of a train's maximal drop-free prefix.
 
-        Targets injection trains: every segment of a window fill arrives
-        at hop 0 at the same instant (``ready`` is constant), so the FIFO
-        departure chain collapses to one sequential ``np.add.accumulate``
-        over serialization times seeded with the port's drain deadline (or
-        the arrival instant, when the port is idle -- the head's clamped
-        zero queueing falls out as an exact ``t - t``).  Eligible when the
-        entire train is processable in this pop (no heap entry and no
-        horizon orders before its last segment) and the run is drop-free.
+        The departure chain of a backlogged FIFO run is one sequential
+        left fold (:func:`fifo_departure_chain`), so a whole run advances
+        in a handful of vector ops.  The committed prefix stops at the
+        first element where the scalar loop would do anything other than
+        chain: the *until* horizon, a heap entry or the train's own first
+        continuation ordering before a segment, an idle gap (the scalar
+        clamp re-seeds the chain there), a buffer overflow (the scalar
+        loop owns the drop), or a bitwise mismatch between the fold and
+        the scalar operation order ``(ready + (busy - ready)) + ser``
+        (not guaranteed to reproduce ``busy + ser``; rather than assume
+        it, both are computed and compared).  Effects for the committed
+        prefix are applied in event order; left folds stay valid under
+        truncation, so any prefix of the chain is exact.  Returns the
+        index the scalar loop resumes from (0 = nothing committed).
 
-        The scalar loop computes each departure as
-        ``(ready + (busy - ready)) + ser``, whose inner round trip is not
-        bitwise guaranteed to reproduce ``busy``; rather than assume it,
-        the chain is recomputed through the scalar operation sequence
-        (vectorised elementwise) and checked for bitwise self-consistency
-        against the accumulate -- on any mismatch the train falls back to
-        the scalar loop.  Returns the index the scalar loop should resume
-        from (0 = not eligible, ``n`` = fully processed).
+        This generalises the original hop-0, same-instant, all-or-nothing
+        pass to any hop (``ready`` picks up the per-size switching
+        latency), monotone unequal arrival times, and partial prefixes.
         """
-        if train[_T_HOP]:
-            return 0
         times = train[_T_TIMES]
-        seqs = train[_T_SEQS]
-        port = ctx[_C_PORT]
-        capacity = ctx[_C_CAPACITY]
         n = len(times)
-        t = times[0]
-        if times[n - 1] != t:
-            return 0
-        if until is not None and t > until:
-            return 0
+        if until is not None:
+            if times[0] > until:
+                return 0
+            if times[n - 1] > until:
+                n = bisect_right(times, until)
+        seqs = train[_T_SEQS]
         heap = self._heap
         if heap:
             head = heap[0]
-            if head[0] < t or (head[0] == t and head[1] < seqs[-1]):
-                return 0
+            ht = head[0]
+            if ht < times[n - 1] or (ht == times[n - 1]
+                                     and head[1] < seqs[n - 1]):
+                # Keep only the segments that order before the heap head
+                # (i == 0, the popped calendar minimum, is exempt).
+                hsq = head[1]
+                lo = bisect_left(times, ht, 1, n)
+                while lo < n and times[lo] == ht and seqs[lo] < hsq:
+                    lo += 1
+                n = lo
+        if n < _VECTOR_MIN_SEGMENTS:
+            return 0
+        hop = train[_T_HOP]
+        capacity = ctx[_C_CAPACITY]
         sizes = train[_T_SIZES]
-        szs = np.asarray(sizes)
+        szs = np.asarray(sizes[:n])
+        tarr = np.asarray(times[:n])
+        if hop:
+            switch_cache = ctx[_C_SWITCHING]
+            sw = []
+            for j in range(n):
+                size = sizes[j]
+                switching = switch_cache.get(size)
+                if switching is None:
+                    switching = fwd_latency(size)
+                    switch_cache[size] = switching
+                sw.append(switching)
+            ready = tarr + np.asarray(sw)
+        else:
+            ready = tarr
+        port = ctx[_C_PORT]
         ser = szs / capacity
-        acc = np.empty(n + 1)
-        busy0 = port.busy_until
-        acc[0] = busy0 if busy0 > t else t
-        acc[1:] = ser
-        np.add.accumulate(acc, out=acc)
-        busy_prev = acc[:n]
-        queueing = busy_prev - t
-        backlog = queueing * capacity
+        acc, queueing, start_tx, dep = fifo_departure_chain(
+            ready, ser, port.busy_until)
+        m = n
+        # Idle gap: the scalar loop clamps negative queueing to zero and
+        # re-seeds the chain at ``ready``; the fold is invalid from there.
+        gaps = np.nonzero(queueing[1:] < 0.0)[0]
+        if gaps.size:
+            m = int(gaps[0]) + 1
+        # First overflow: the scalar loop handles the drop (and the chain
+        # changes shape past it).
         buffer_bits = ctx[_C_BUFFER]
-        if np.any(backlog + szs > buffer_bits):
-            return 0
-        start_tx = t + queueing
-        dep = start_tx + ser
-        # Bitwise self-consistency: the accumulate must reproduce the
-        # scalar chain exactly, element for element.
-        if n > 1 and not np.array_equal(dep[: n - 1], acc[1:n]):
-            return 0
+        backlog = queueing * capacity
+        over = np.nonzero(backlog[:m] + szs[:m] > buffer_bits)[0]
+        if over.size:
+            m = int(over[0])
+            if m == 0:
+                return 0
+        # Bitwise self-consistency up to the commit point: the fold must
+        # reproduce the scalar chain exactly, element for element.
+        if m > 1:
+            bad = np.nonzero(dep[: m - 1] != acc[1:m])[0]
+            if bad.size:
+                m = int(bad[0]) + 1
         if last_hop:
             out_times = (dep + ctx[_C_PROPAGATION]) + ctx[_C_PHY]
         else:
             out_times = (start_tx + ctx[_C_PROPAGATION]) + ctx[_C_PHY]
-        # The first continuation must not order before any later segment
-        # (its virtual seq is larger, so strictly-smaller time wins).
-        if out_times[0] < t:
-            return 0
+        # The first continuation's virtual seq exceeds every segment seq,
+        # so it orders first exactly when its time is strictly smaller --
+        # the scalar loop's ``c_times[0] < t`` break.
+        out0 = out_times[0]
+        if out0 < times[m - 1]:
+            m = bisect_right(times, out0, 1, m)
 
-        # Eligible: apply the whole run's effects in event order.
-        self._now = t
-        self.packets_entered += n
-        self.in_flight += n
-        port.busy_until = float(dep[n - 1])
-        port.packets_sent += n
+        # Commit the prefix's effects in event order.
+        self._now = times[m - 1]
+        if hop == 0:
+            self.packets_entered += m
+            self.in_flight += m
+        port.busy_until = float(dep[m - 1])
+        port.packets_sent += m
         bits_sent = port.bits_sent
-        for s in sizes:
-            bits_sent += s
+        for j in range(m):
+            bits_sent += sizes[j]
         port.bits_sent = bits_sent
-        queueing_list = queueing.tolist()
+        queueing_list = queueing[:m].tolist()
         queueing_total = port.queueing_seconds_total
         for q in queueing_list:
             queueing_total += q
         port.queueing_seconds_total = queueing_total
-        peak = float(backlog.max())
+        peak = float(backlog[:m].max())
         if peak > port.max_backlog_bits:
             port.max_backlog_bits = peak
-        ecn_marks = int(np.count_nonzero(backlog > ctx[_C_ECN_BITS]))
+        ecn_marks = int(np.count_nonzero(backlog[:m] > ctx[_C_ECN_BITS]))
         if ecn_marks:
             port.ecn_marks += ecn_marks
         if ctx[_C_FINITE]:
-            occupancies = (backlog / buffer_bits).tolist()
+            occupancies = (backlog[:m] / buffer_bits).tolist()
         else:
-            occupancies = [0.0] * n
-        # Inlined sequential EWMA fold over the run's occupancy samples.
+            occupancies = [0.0] * m
+        # Inlined sequential EWMA fold over the prefix's occupancy samples.
         stats = ctx[_C_STATS]
         est = ctx[_C_OCCUPANCY_EST]
         alpha = est.alpha
@@ -1236,22 +1315,22 @@ class BatchedPacketCore:
                 occupancy if value is None
                 else alpha * occupancy + one_minus_alpha * value
             )
-        est.samples += n
+        est.samples += m
         est.last_sample = occupancies[-1]
         est.minimum = emin
         est.maximum = emax
         est._value = value
-        stats.packets += n
+        stats.packets += m
         seq_base = self._seq
-        self._seq += n
+        self._seq += m
         queue = train[_T_QUEUE]
         for j, q in enumerate(queueing_list):
             queue[j] += q
-        c_times.extend(out_times.tolist())
-        c_seqs.extend(range(seq_base, seq_base + n))
-        c_queue.extend(queue)
-        c_keep.extend(range(n))
-        return n
+        c_times.extend(out_times[:m].tolist())
+        c_seqs.extend(range(seq_base, seq_base + m))
+        c_queue.extend(queue[:m])
+        c_keep.extend(range(m))
+        return m
 
     def _drop_segment(self, train, i, port, stats, here, nxt, reason) -> None:
         """Mirror of ``PacketLevelNetwork._drop`` + ``_on_dropped`` fused."""
@@ -1330,6 +1409,8 @@ class BatchedPacketCore:
             self.in_flight -= 1
             self.bits_delivered += size
             samples.append(queue[0])
+            if self.delivery_log is not None:
+                self.delivery_log.append((t, size))
             state.outstanding -= 1
             state.delivered_segments += 1
             state.delivered_bits += size
@@ -1362,6 +1443,8 @@ class BatchedPacketCore:
             self.in_flight -= 1
             self.bits_delivered += size
             samples.append(queue[i])
+            if self.delivery_log is not None:
+                self.delivery_log.append((t, size))
             if packet is not None and self.retain_packets:
                 self.delivered.append(packet)
             if trace_on:

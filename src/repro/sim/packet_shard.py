@@ -1,0 +1,840 @@
+"""Spatially-sharded packet engine: disjoint fabric regions in parallel.
+
+:class:`ShardedPacketCore` is the ``engine="sharded"`` implementation
+behind :class:`repro.fabric.packetsim.PacketBackend`.  It partitions the
+workload by *traffic closure* -- flows are unioned over the undirected
+links their routes visit, so two flows land in the same shard exactly
+when any packet of one can ever contend with a packet of the other --
+and runs one :class:`~repro.sim.packet_batch.BatchedPacketCore` per
+shard, each advancing its per-port FIFO trains independently between
+synchronisation points.
+
+Why it is bit-exact
+-------------------
+The event engine's global order is ``(time, seq)`` with ``seq`` assigned
+at scheduling time.  Restricting a monolithic execution to one closure
+component renumbers that component's seqs monotonically (events of
+disjoint components never interact, so the component's scheduling order
+-- and hence its tie resolution and every float it computes -- is
+unchanged).  Each shard is therefore bitwise-identical to the monolithic
+engine on the ports, flows and statistics streams it owns, for any shard
+count.  The only global state is the pair of left folds over delivery
+order (``bits_delivered`` and the ``queueing_samples`` list) and the
+fold over retransmit order (``retransmitted_bits``): each shard keeps an
+append-log of its ``(time, size)`` contributions, and the coordinator
+re-folds them in merged event order.  Cross-shard ties in those merges
+are resolved by checking that every colliding contribution is bitwise
+identical -- then any interleaving yields the same fold -- and, when
+they are not, by *demoting*: replaying the run's full operation journal
+on a fresh monolithic core, which is always exact (see below).
+
+Epoch barriers and lookahead
+----------------------------
+The general sharded-engine recipe bounds how far a shard may run ahead
+by the *conservative lookahead* -- the minimum link latency, i.e. the
+earliest a boundary packet could arrive from another shard -- and
+exchanges boundary packets at epoch barriers.  Traffic-closure
+partitioning makes the boundary traffic provably empty (no route crosses
+shards), so every epoch safely extends to the full drive horizon: each
+``drive()`` is one epoch, and the barrier at its end is where the
+coordinator re-merges the global folds and (in process mode) adopts the
+worker cores.  :attr:`ShardedPacketCore.conservative_lookahead` exposes
+the bound for introspection and tests.
+
+Demotion
+--------
+Operations the disjoint-shard execution cannot honour -- external
+``schedule_at``/``schedule`` callbacks (controllers, failure injectors),
+a reroute whose new path collides with another shard, or an ambiguous
+cross-shard merge tie -- fall back to one monolithic
+:class:`BatchedPacketCore`.  The coordinator journals every externally
+visible operation (drives, capacity syncs, enable/disable toggles,
+reroutes) from construction on; demotion resets the flows to their
+construction snapshots, rebuilds a monolithic core and replays the
+journal, which reproduces the monolithic execution bit for bit.  After
+demotion every call passes straight through.  Replay assumes the run's
+fabric mutations all went through the backend facade (direct fabric
+edits between runs are re-read live and cannot be replayed); a truncated
+(``max_events``) sharded drive cannot be replayed faithfully either, so
+demoting after one raises :class:`SimulationError`.
+
+Process fan-out
+---------------
+With more than one shard and no demotion triggers, ``drive()`` can fan
+the shard cores out across ``multiprocessing`` workers (the spawn-safe
+pattern of :func:`repro.experiments.sweep._worker_init`: spawn context,
+explicit ``sys.path`` hand-off, order-preserving ``map``).  Workers
+return their cores by value; the coordinator *adopts* them -- rebinding
+the shared fabric, the facade's flow objects and the shared
+disabled-links set back onto the returned object graph -- so subsequent
+in-process operation is seamless.  Dispatch is controlled by the
+``REPRO_SHARD_DISPATCH`` environment variable (``auto`` | ``process`` |
+``inline``); ``auto`` uses processes only when the host has more than
+one CPU, and any pickling failure falls back to the bit-identical
+inline path.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from heapq import heappush, heappop
+from multiprocessing import get_context
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.sim.engine import SimulationError
+from repro.sim.flow import Flow
+from repro.sim.packet_batch import BatchedPacketCore
+from repro.sim.trace import NullTrace, TraceRecorder
+from repro.sim.transport import FlowTransportState, TransportConfig
+
+DirectedKey = Tuple[str, str]
+
+#: Dispatch override: ``auto`` (default), ``process`` or ``inline``.
+_DISPATCH_ENV = "REPRO_SHARD_DISPATCH"
+
+
+class _RouteTable:
+    """Picklable route resolver over paths pre-resolved by the coordinator.
+
+    The coordinator resolves every flow's route once, in flow order --
+    the same router calls, in the same order, the monolithic core would
+    make -- so shard cores (and demotion replays, and spawned workers)
+    all see identical paths without re-running the router.
+    """
+
+    __slots__ = ("_routes",)
+
+    def __init__(self, routes: Dict[int, List[str]]) -> None:
+        self._routes = routes
+
+    def __call__(self, flow: Flow) -> List[str]:
+        return self._routes[flow.flow_id]
+
+
+class _JournaledSet(set):
+    """The shared disabled-links set, with journal hooks on mutation.
+
+    The backend facade toggles links by mutating ``disabled_links``
+    directly; every shard core shares this one object, and the hooks
+    record the toggle order so a demotion replay can reproduce it.
+    Pickles as a plain :class:`set` (workers never mutate it, and the
+    coordinator rebinds the shared object on adoption).
+    """
+
+    __slots__ = ("_journal",)
+
+    def __init__(self, journal: list) -> None:
+        super().__init__()
+        self._journal = journal
+
+    def add(self, key) -> None:
+        self._journal.append(("disable", key))
+        set.add(self, key)
+
+    def discard(self, key) -> None:
+        self._journal.append(("enable", key))
+        set.discard(self, key)
+
+    def __reduce__(self):
+        return (set, (list(self),))
+
+
+def _worker_init(path_entries: List[str]) -> None:
+    """Mirror of ``repro.experiments.sweep._worker_init`` (spawn-safe).
+
+    Replicated rather than imported: the simulation kernel never imports
+    ``repro.experiments``.
+    """
+    for entry in reversed(path_entries):
+        if entry not in sys.path:
+            sys.path.insert(0, entry)
+
+
+def _drive_shard(payload):
+    """Worker body: drive one shard core and return it by value."""
+    core, until, max_events = payload
+    truncated = core.drive(until, max_events)
+    return core, truncated
+
+
+def _partition(flows: Sequence[Flow], routes: Dict[int, List[str]],
+               shards: int) -> List[List[Flow]]:
+    """Group flows into at most *shards* traffic-closure bins.
+
+    Union-find over the undirected links each route visits (undirected
+    because ``Fabric.stats_for`` canonicalises statistics streams across
+    both directions -- directed disjointness is not enough).  Components
+    are packed greedily by descending total size into the emptiest bin;
+    everything is keyed on flow order and sizes, never on hash order, so
+    the partition is deterministic under any ``PYTHONHASHSEED``.
+    """
+    parent: Dict[Tuple[str, str], Tuple[str, str]] = {}
+
+    def find(x):
+        root = x
+        while parent[root] != root:
+            root = parent[root]
+        while parent[x] != root:
+            parent[x], x = root, parent[x]
+        return root
+
+    flow_root: Dict[int, Tuple[str, str]] = {}
+    for flow in flows:
+        path = routes[flow.flow_id]
+        keys = [
+            (a, b) if a <= b else (b, a)
+            for a, b in zip(path[:-1], path[1:])
+        ]
+        for key in keys:
+            if key not in parent:
+                parent[key] = key
+        first = find(keys[0])
+        for key in keys[1:]:
+            root = find(key)
+            if root != first:
+                parent[root] = first
+        flow_root[flow.flow_id] = first
+
+    components: Dict[Tuple[str, str], List[Flow]] = {}
+    for flow in flows:
+        components.setdefault(find(flow_root[flow.flow_id]), []).append(flow)
+    # Deterministic greedy packing: components by descending work (total
+    # bits, first-flow order as the tie-break), each into the least-loaded
+    # bin (lowest index on ties).
+    comps = sorted(
+        components.values(),
+        key=lambda fl: (-sum(f.size_bits for f in fl), fl[0].flow_id),
+    )
+    bins: List[List[Flow]] = [[] for _ in range(min(shards, len(comps)))]
+    loads = [0.0] * len(bins)
+    for comp in comps:
+        idx = loads.index(min(loads))
+        bins[idx].extend(comp)
+        loads[idx] += sum(f.size_bits for f in comp)
+    for flows_in_bin in bins:
+        flows_in_bin.sort(key=lambda f: f.flow_id)
+    bins.sort(key=lambda fl: fl[0].flow_id)
+    return bins
+
+
+class ShardedPacketCore:
+    """Coordinator over per-shard :class:`BatchedPacketCore` instances.
+
+    Exposes the same fused simulator/network/transport surface, so
+    :class:`~repro.fabric.packetsim.PacketBackend` points all three roles
+    at one object exactly as it does for ``engine="batched"``.
+    """
+
+    def __init__(
+        self,
+        fabric,
+        flows: Sequence[Flow],
+        route_fn: Callable[[Flow], Sequence[str]],
+        config: Optional[TransportConfig] = None,
+        trace: Optional[TraceRecorder] = None,
+        ecn_threshold: float = 0.65,
+        record_hops: bool = False,
+        retain_packets: bool = False,
+        port_factory=None,
+        shards: int = 1,
+    ) -> None:
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards!r}")
+        self.fabric = fabric
+        self.trace = trace if trace is not None else NullTrace()
+        self.config = config if config is not None else TransportConfig()
+        self._flows = list(flows)
+        self._flow_by_id = {flow.flow_id: flow for flow in self._flows}
+        # Construction snapshot of every mutable Flow field, for demotion
+        # replays (the journal replay needs pristine flows).
+        self._flow_snapshots = [
+            (f.state, f.completion_time, f.bits_remaining, dict(f.metadata))
+            for f in self._flows
+        ]
+        # Resolve every route once, in flow order (same router calls the
+        # monolithic core would make).
+        routes = {f.flow_id: list(route_fn(f)) for f in self._flows}
+        self._route_table = _RouteTable(routes)
+        self._core_kwargs = dict(
+            config=self.config,
+            trace=self.trace,
+            ecn_threshold=ecn_threshold,
+            record_hops=record_hops,
+            retain_packets=retain_packets,
+            port_factory=port_factory,
+        )
+        self._journal: list = []
+        self._disabled = _JournaledSet(self._journal)
+        self._truncation_journaled = False
+        self._merged: Optional[dict] = None
+        self._mono: Optional[BatchedPacketCore] = None
+
+        rich = bool(
+            record_hops or retain_packets or not isinstance(self.trace, NullTrace)
+        )
+        if rich or shards == 1 or len(self._flows) == 0:
+            # Rich mode materialises global Packet/trace order; run it
+            # (and the trivial cases) on a single monolithic core.
+            bin_flows = [self._flows]
+        else:
+            bin_flows = _partition(self._flows, routes, shards)
+        self._bins: List[BatchedPacketCore] = []
+        self._flow_bin: Dict[int, int] = {}
+        self._bin_ukeys: List[set] = []
+        self._owner: Dict[DirectedKey, int] = {}
+        for idx, members in enumerate(bin_flows):
+            core = BatchedPacketCore(
+                fabric, members, route_fn=self._route_table, **self._core_kwargs
+            )
+            core.disabled_links = self._disabled
+            self._bins.append(core)
+            for f in members:
+                self._flow_bin[f.flow_id] = idx
+            ukeys = set()
+            for f in members:
+                path = routes[f.flow_id]
+                for a, b in zip(path[:-1], path[1:]):
+                    self._owner[(a, b)] = idx
+                    ukeys.add((a, b) if a <= b else (b, a))
+            self._bin_ukeys.append(ukeys)
+        if len(self._bins) == 1:
+            self._mono = self._bins[0]
+        else:
+            for core in self._bins:
+                core.delivery_log = []
+                core.retransmit_log = []
+        # Conservative lookahead of the general sharded protocol: the
+        # minimum latency of any link -- the soonest a boundary packet
+        # could cross shards.  Traffic-closure partitioning has no
+        # boundary packets, so epochs extend to the full drive horizon.
+        latencies = [
+            link.propagation_delay + link.phy_latency
+            for link in fabric.topology.links()
+        ]
+        self.conservative_lookahead = min(latencies) if latencies else 0.0
+
+    # ------------------------------------------------------------------ #
+    # Sharding introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def shard_count(self) -> int:
+        """Number of live shards (1 after demotion)."""
+        return 1 if self._mono is not None else len(self._bins)
+
+    def shard_of(self, flow_id: int) -> int:
+        """Index of the shard that owns *flow_id*."""
+        if self._mono is not None:
+            return 0
+        return self._flow_bin[flow_id]
+
+    # ------------------------------------------------------------------ #
+    # Demotion: journal replay onto a monolithic core
+    # ------------------------------------------------------------------ #
+    def _demote(self, reason: str) -> BatchedPacketCore:
+        mono = self._mono
+        if mono is not None:
+            return mono
+        if self._truncation_journaled:
+            raise SimulationError(
+                "cannot fall back to the monolithic engine after a "
+                f"max_events-truncated sharded drive ({reason}); "
+                "use engine='batched' for this run"
+            )
+        for flow, snap in zip(self._flows, self._flow_snapshots):
+            flow.state, flow.completion_time, flow.bits_remaining = snap[:3]
+            flow.metadata.clear()
+            flow.metadata.update(snap[3])
+        core = BatchedPacketCore(
+            self.fabric, self._flows, route_fn=self._route_table,
+            **self._core_kwargs,
+        )
+        for op in self._journal:
+            kind = op[0]
+            if kind == "drive":
+                core.drive(op[1], op[2])
+            elif kind == "run":
+                core.run(until=op[1], max_events=op[2])
+            elif kind == "sync":
+                core.sync_port_capacity(op[1], op[2])
+            elif kind == "disable":
+                core.disabled_links.add(op[1])
+            elif kind == "enable":
+                core.disabled_links.discard(op[1])
+            elif kind == "reroute":
+                core.reroute(op[1], op[2])
+            elif kind == "touch":
+                core.touch()
+        # Keep the facade's shared set identity (plain set ops: the
+        # replay already journalled these contents).
+        set.clear(self._disabled)
+        set.update(self._disabled, core.disabled_links)
+        core.disabled_links = self._disabled
+        self._mono = core
+        self._bins = [core]
+        self._merged = None
+        return core
+
+    # ------------------------------------------------------------------ #
+    # Global folds: merged delivery / retransmit order
+    # ------------------------------------------------------------------ #
+    def _merge(self) -> dict:
+        """Merge the shards' per-event logs into the global folds.
+
+        K-way merge by time (shard index breaks ties *only after* proving
+        every colliding contribution bitwise identical -- then any
+        interleaving folds to the same value).  An ambiguous cross-shard
+        tie demotes to the journal replay, which is always exact.
+        """
+        merged = self._merged
+        if merged is not None:
+            return merged
+        mono = self._mono
+        if mono is not None:
+            merged = {
+                "samples": mono.queueing_samples,
+                "bits_delivered": mono.bits_delivered,
+                "retransmitted_bits": mono.retransmitted_bits,
+            }
+            self._merged = merged
+            return merged
+        try:
+            samples: List[float] = []
+            bits_delivered = 0.0
+            deliveries = [
+                (core.delivery_log, core.queueing_samples)
+                for core in self._bins
+            ]
+            for _, size, sample in self._merge_logs(
+                [log for log, _ in deliveries],
+                [(sam,) for _, sam in deliveries],
+            ):
+                bits_delivered += size
+                samples.append(sample[0])
+            retransmitted = 0.0
+            for _, size, _ in self._merge_logs(
+                [core.retransmit_log for core in self._bins], None
+            ):
+                retransmitted += size
+        except _AmbiguousTie as tie:
+            core = self._demote(str(tie))
+            merged = {
+                "samples": core.queueing_samples,
+                "bits_delivered": core.bits_delivered,
+                "retransmitted_bits": core.retransmitted_bits,
+            }
+            self._merged = merged
+            return merged
+        merged = {
+            "samples": samples,
+            "bits_delivered": bits_delivered,
+            "retransmitted_bits": retransmitted,
+        }
+        self._merged = merged
+        return merged
+
+    @staticmethod
+    def _merge_logs(logs: List[List[Tuple[float, float]]],
+                    extras: Optional[List[Tuple[List[float]]]]):
+        """Yield ``(time, size, extra-row)`` across shards in event order.
+
+        Within a shard the log is already in event order; across shards,
+        strictly increasing times interleave uniquely.  Equal times across
+        shards are sound only when every colliding row is bitwise equal;
+        otherwise the monolithic interleaving is unknowable from the logs
+        and :class:`_AmbiguousTie` is raised.
+        """
+        heads: List[Tuple[float, int]] = []
+        cursors = [0] * len(logs)
+        for idx, log in enumerate(logs):
+            if log:
+                heappush(heads, (log[0][0], idx))
+        while heads:
+            t, idx = heads[0]
+            # Collect every shard whose head shares this instant.
+            tied = [item for item in heads if item[0] == t]
+            if len(tied) > 1:
+                rows = set()
+                for _, j in tied:
+                    entry = logs[j][cursors[j]]
+                    extra = (
+                        tuple(col[cursors[j]] for col in extras[j])
+                        if extras is not None else ()
+                    )
+                    rows.add((entry[1],) + extra)
+                if len(rows) > 1:
+                    raise _AmbiguousTie(
+                        f"cross-shard event tie at t={t!r} with differing "
+                        "contributions"
+                    )
+            heappop(heads)
+            entry = logs[idx][cursors[idx]]
+            extra = (
+                tuple(col[cursors[idx]] for col in extras[idx])
+                if extras is not None else ()
+            )
+            cursors[idx] += 1
+            if cursors[idx] < len(logs[idx]):
+                heappush(heads, (logs[idx][cursors[idx]][0], idx))
+            yield entry[0], entry[1], extra
+
+    # ------------------------------------------------------------------ #
+    # Simulator surface
+    # ------------------------------------------------------------------ #
+    @property
+    def now(self) -> float:
+        mono = self._mono
+        if mono is not None:
+            return mono.now
+        return max(core.now for core in self._bins)
+
+    @property
+    def events_executed(self) -> int:
+        return sum(core.events_executed for core in self._bins)
+
+    @property
+    def pending(self) -> int:
+        return sum(core.pending for core in self._bins)
+
+    def peek(self) -> Optional[float]:
+        times = [t for t in (core.peek() for core in self._bins)
+                 if t is not None]
+        return min(times) if times else None
+
+    def touch(self) -> None:
+        self._journal.append(("touch",))
+        for core in self._bins:
+            core.touch()
+
+    def schedule(self, delay: float, fn: Callable, *args, priority: int = 0,
+                 **kwargs) -> None:
+        """External callback: needs the global calendar, so demote."""
+        return self._demote("external schedule()").schedule(
+            delay, fn, *args, priority=priority, **kwargs)
+
+    def schedule_at(self, time: float, fn: Callable, *args, priority: int = 0,
+                    **kwargs) -> None:
+        """External callback: needs the global calendar, so demote."""
+        return self._demote("external schedule_at()").schedule_at(
+            time, fn, *args, priority=priority, **kwargs)
+
+    def step(self, until: Optional[float] = None) -> bool:
+        return self._demote("single-step execution").step(until)
+
+    def drive(self, until: Optional[float], max_events: int) -> bool:
+        self._merged = None
+        mono = self._mono
+        if mono is not None:
+            self._journal.append(("drive", until, max_events))
+            return mono.drive(until, max_events)
+        self._journal.append(("drive", until, max_events))
+        if self._dispatch_processes():
+            result = self._drive_processes(until, max_events)
+            if result is not None:
+                if result:
+                    self._truncation_journaled = True
+                return result
+        # The event budget is a cumulative per-engine cap; the sharded
+        # engine applies it per shard (inline and process dispatch agree).
+        truncated = False
+        for core in self._bins:
+            if core.drive(until, max_events):
+                truncated = True
+        if truncated:
+            self._truncation_journaled = True
+        return truncated
+
+    def run(self, until: Optional[float] = None,
+            max_events: Optional[int] = None) -> int:
+        self._merged = None
+        self._journal.append(("run", until, max_events))
+        executed = 0
+        for core in self._bins:
+            executed += core.run(until=until, max_events=max_events)
+        return executed
+
+    def drain(self, max_events: int = 10_000_000) -> int:
+        return self.run(max_events=max_events)
+
+    # ------------------------------------------------------------------ #
+    # Process fan-out
+    # ------------------------------------------------------------------ #
+    def _dispatch_processes(self) -> bool:
+        # Dispatch selects workers, never results: inline and process
+        # execution are bit-identical, so this env read cannot make
+        # behaviour depend on the launching environment.
+        mode = os.environ.get(_DISPATCH_ENV, "auto")  # repro: ignore[D001]
+        if mode == "inline" or len(self._bins) < 2:
+            return False
+        if mode == "process":
+            return True
+        return (os.cpu_count() or 1) > 1
+
+    def _drive_processes(self, until: Optional[float],
+                         max_events: int) -> Optional[bool]:
+        """Fan the shard drives out across spawned workers.
+
+        Returns ``None`` when dispatch is unavailable (pickling or pool
+        failure): the caller falls through to the bit-identical inline
+        path.  Each shard gets the full event budget -- budgets are
+        engine-specific truncation points, and the sharded engine's
+        documented behaviour is per-shard budgeting.
+        """
+        payloads = [(core, until, max_events) for core in self._bins]
+        try:
+            with get_context().Pool(
+                processes=min(len(self._bins), os.cpu_count() or 1),
+                initializer=_worker_init,
+                initargs=(list(sys.path),),
+            ) as pool:
+                results = pool.map(_drive_shard, payloads)
+        except Exception:
+            return None
+        truncated = False
+        for idx, (core, shard_truncated) in enumerate(results):
+            self._adopt(idx, core)
+            truncated = truncated or shard_truncated
+        return truncated
+
+    def _adopt(self, idx: int, core: BatchedPacketCore) -> None:
+        """Make a worker-returned core the authoritative shard state.
+
+        The returned object graph is self-consistent but points at
+        *copies* of the objects shared with the coordinator; rebind those
+        edges -- the fabric (adopting the worker's statistics streams for
+        the links this shard owns), the facade's flow objects (copying
+        the worker's progress into them), and the shared disabled-links
+        set.  Port/context caches reference objects inside the adopted
+        graph and stay valid; epoch-guarded link properties re-read from
+        the rebound fabric on the next drive.
+        """
+        for ukey in self._bin_ukeys[idx]:
+            stream = core.fabric.link_stats.get(ukey)
+            if stream is not None:
+                self.fabric.link_stats[ukey] = stream
+        core.fabric = self.fabric
+        for fid, state in core._states.items():
+            parent_flow = self._flow_by_id[fid]
+            worker_flow = state.flow
+            if worker_flow is not parent_flow:
+                parent_flow.state = worker_flow.state
+                parent_flow.completion_time = worker_flow.completion_time
+                parent_flow.bits_remaining = worker_flow.bits_remaining
+                parent_flow.metadata.clear()
+                parent_flow.metadata.update(worker_flow.metadata)
+                state.flow = parent_flow
+        core.disabled_links = self._disabled
+        self._bins[idx] = core
+
+    # ------------------------------------------------------------------ #
+    # Network surface
+    # ------------------------------------------------------------------ #
+    @property
+    def disabled_links(self):
+        return self._disabled
+
+    @disabled_links.setter
+    def disabled_links(self, value) -> None:
+        raise AttributeError(
+            "the sharded engine's disabled_links set is shared across "
+            "shards; mutate it in place"
+        )
+
+    @property
+    def _ports(self) -> Dict[DirectedKey, object]:
+        mono = self._mono
+        if mono is not None:
+            return mono._ports
+        merged: Dict[DirectedKey, object] = {}
+        for core in self._bins:
+            merged.update(core._ports)
+        return merged
+
+    def sync_port_capacity(self, key: DirectedKey, capacity_bps: float) -> None:
+        self._journal.append(("sync", key, capacity_bps))
+        mono = self._mono
+        if mono is not None:
+            return mono.sync_port_capacity(key, capacity_bps)
+        idx = self._owner.get(key, 0)
+        return self._bins[idx].sync_port_capacity(key, capacity_bps)
+
+    def port_drain_time(self, key: DirectedKey) -> float:
+        mono = self._mono
+        if mono is not None:
+            return mono.port_drain_time(key)
+        return self._bins[self._owner.get(key, 0)].port_drain_time(key)
+
+    def port_stats(self) -> Dict[DirectedKey, object]:
+        merged: Dict[DirectedKey, object] = {}
+        for core in self._bins:
+            merged.update(core.port_stats())
+        return merged
+
+    def latencies(self) -> List[float]:
+        out: List[float] = []
+        for core in self._bins:
+            out.extend(core.latencies())
+        return out
+
+    def delivery_fraction(self) -> float:
+        total = self.delivered_count + self.dropped_count
+        if total == 0:
+            return 0.0
+        return self.delivered_count / total
+
+    @property
+    def delivered(self):
+        mono = self._mono
+        if mono is not None:
+            return mono.delivered
+        out = []
+        for core in self._bins:
+            out.extend(core.delivered)
+        return out
+
+    @property
+    def dropped(self):
+        mono = self._mono
+        if mono is not None:
+            return mono.dropped
+        out = []
+        for core in self._bins:
+            out.extend(core.dropped)
+        return out
+
+    @property
+    def queueing_samples(self) -> List[float]:
+        return self._merge()["samples"]
+
+    @property
+    def bits_delivered(self) -> float:
+        return self._merge()["bits_delivered"]
+
+    @property
+    def packets_injected(self) -> int:
+        return sum(core.packets_injected for core in self._bins)
+
+    @property
+    def packets_entered(self) -> int:
+        return sum(core.packets_entered for core in self._bins)
+
+    @property
+    def in_flight(self) -> int:
+        return sum(core.in_flight for core in self._bins)
+
+    @property
+    def delivered_count(self) -> int:
+        return sum(core.delivered_count for core in self._bins)
+
+    @property
+    def dropped_count(self) -> int:
+        return sum(core.dropped_count for core in self._bins)
+
+    # ------------------------------------------------------------------ #
+    # Transport surface
+    # ------------------------------------------------------------------ #
+    @property
+    def finished(self) -> bool:
+        return all(core.finished for core in self._bins)
+
+    @property
+    def retransmissions(self) -> int:
+        return sum(core.retransmissions for core in self._bins)
+
+    @property
+    def retransmitted_bits(self) -> float:
+        return self._merge()["retransmitted_bits"]
+
+    @property
+    def segments_abandoned(self) -> int:
+        return sum(core.segments_abandoned for core in self._bins)
+
+    def state_of(self, flow_id: int) -> FlowTransportState:
+        mono = self._mono
+        if mono is not None:
+            return mono.state_of(flow_id)
+        return self._bins[self.shard_of(flow_id)].state_of(flow_id)
+
+    def active_flows(self) -> List[Flow]:
+        mono = self._mono
+        if mono is not None:
+            return mono.active_flows()
+        # Original flow order, exactly like the monolithic dict's
+        # insertion order.
+        out: List[Flow] = []
+        for flow in self._flows:
+            state = self._bins[self.shard_of(flow.flow_id)].state_of(
+                flow.flow_id)
+            if state.started and not state.finished:
+                out.append(state.flow)
+        return out
+
+    @property
+    def unstarted_count(self) -> int:
+        return sum(core.unstarted_count for core in self._bins)
+
+    def pending_demand_bits(self) -> float:
+        mono = self._mono
+        if mono is not None:
+            return mono.pending_demand_bits()
+        # One left fold in original flow order (bit-compatible with the
+        # monolithic sum over insertion-ordered states).
+        return sum(
+            state.flow.size_bits - state.delivered_bits
+            for state in (
+                self._bins[self.shard_of(flow.flow_id)].state_of(flow.flow_id)
+                for flow in self._flows
+            )
+            if state.started and not state.finished
+        )
+
+    def reroute(self, flow_id: int, path: Sequence[str]) -> None:
+        self._journal.append(("reroute", flow_id, list(path)))
+        mono = self._mono
+        if mono is not None:
+            return mono.reroute(flow_id, path)
+        idx = self.shard_of(flow_id)
+        claims: List[DirectedKey] = []
+        for key in zip(path[:-1], path[1:]):
+            owner = self._owner.get(key)
+            if owner is None:
+                claims.append(key)
+            elif owner != idx:
+                # The new path enters another shard's closure: the
+                # journal pops this reroute back in its recorded order.
+                self._journal.pop()
+                self._demote(
+                    f"reroute of flow {flow_id} crosses shards")
+                self._journal.append(("reroute", flow_id, list(path)))
+                return self._mono.reroute(flow_id, path)
+        for key in claims:
+            a, b = key
+            ukey = (a, b) if a <= b else (b, a)
+            for other_idx, other in enumerate(self._bins):
+                if other_idx != idx and (
+                    key in other._ports or ukey in self._bin_ukeys[other_idx]
+                ):
+                    self._journal.pop()
+                    self._demote(
+                        f"reroute of flow {flow_id} touches a port "
+                        "materialised in another shard")
+                    self._journal.append(("reroute", flow_id, list(path)))
+                    return self._mono.reroute(flow_id, path)
+        for key in claims:
+            a, b = key
+            self._owner[key] = idx
+            self._bin_ukeys[idx].add((a, b) if a <= b else (b, a))
+        return self._bins[idx].reroute(flow_id, path)
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "packets_sent": float(
+                sum(core._packet_counter for core in self._bins)),
+            "retransmissions": float(self.retransmissions),
+            "retransmitted_bits": self.retransmitted_bits,
+            "segments_abandoned": float(self.segments_abandoned),
+        }
+
+
+class _AmbiguousTie(Exception):
+    """A cross-shard event tie whose fold order cannot be reconstructed."""

@@ -41,7 +41,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.sim.flow import Flow
 from repro.sim.packet import Packet
@@ -92,6 +92,20 @@ class TransportConfig:
     def mtu_bits(self) -> float:
         """Segment size in bits."""
         return bits_from_bytes(self.mtu_bytes)
+
+
+def segment_layout(size_bits: float, mtu_bits: float) -> Tuple[int, float]:
+    """Segment count and last-segment payload of a *size_bits* flow.
+
+    ``ceil(size / mtu)`` full-MTU segments with the remainder in the last
+    (the ``- 1e-12`` guards exact multiples against float ratio error),
+    so delivered bits sum exactly to the flow size.  Shared by every
+    packet engine -- the segment grid is part of the bit-exact parity
+    contract, so it must be computed by exactly one spelling.
+    """
+    total = max(1, int(math.ceil(size_bits / mtu_bits - 1e-12)))
+    last = size_bits - (total - 1) * mtu_bits
+    return total, last
 
 
 @dataclass
@@ -182,8 +196,7 @@ class PacketTransport:
         self._unfinished = 0
         mtu = self.config.mtu_bits
         for flow in flows:
-            total = max(1, int(math.ceil(flow.size_bits / mtu - 1e-12)))
-            last = flow.size_bits - (total - 1) * mtu
+            total, last = segment_layout(flow.size_bits, mtu)
             state = FlowTransportState(
                 flow=flow,
                 path=list(route_fn(flow)),

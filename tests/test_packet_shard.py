@@ -1,0 +1,310 @@
+"""Sharded packet engine: bit-identical to the event oracle, any shard count.
+
+``engine="sharded"`` partitions flows by traffic closure across batched
+cores (:mod:`repro.sim.packet_shard`).  ``shards`` must be a pure
+performance knob: for every shard count these tests pin snapshot
+identity with the event engine on every small scenario x controller,
+across ``run(until=...)`` resume cuts (which slice across the
+coordinator's epoch barriers), under mid-run facade mutations (which
+must land in the owning shard without collapsing the partition), and
+through the demotion path (external ``schedule`` callbacks replay the
+journal onto a monolithic core -- still bit-identical).  Process
+dispatch is exercised explicitly: fanning shards out to spawned workers
+and adopting the returned cores must be indistinguishable from inline
+execution.
+"""
+
+import random
+import re
+
+import pytest
+
+from test_packet_parity import (
+    BASE_OVERRIDES,
+    CONTROLLERS,
+    SCENARIO_OVERRIDES,
+    _backend_snapshot,
+    _build_backend,
+    _record_snapshot,
+    _transport_for,
+    small_scenarios,
+)
+
+from repro.experiments.api import ExperimentSpec, run_experiment
+from repro.experiments.harness import build_grid_fabric
+from repro.experiments.scenarios import (
+    ScenarioError,
+    controller_config_from_params,
+    derive_run_seed,
+    materialize_run,
+    resolve_params,
+)
+from repro.fabric.packetsim import PacketBackend
+from repro.sim.engine import SimulationError
+from repro.sim.flow import Flow, reset_flow_ids
+
+SHARD_COUNTS = (1, 2, 4)
+
+
+def _scenario_record(scenario, controller, engine, shards=1):
+    overrides = dict(BASE_OVERRIDES, **SCENARIO_OVERRIDES.get(scenario.name, {}))
+    overrides.update(
+        controller=controller, backend="packet", engine=engine, shards=shards
+    )
+    params = resolve_params(scenario, overrides)
+    seed = derive_run_seed(3, scenario.name, params)
+    fabric, flows, failure_events = materialize_run(scenario, params, seed)
+    record = run_experiment(
+        ExperimentSpec(
+            fabric=fabric,
+            flows=flows,
+            label=scenario.name,
+            controller=controller,
+            controller_config=controller_config_from_params(controller, params),
+            failures=tuple(failure_events or ()),
+            backend="packet",
+            engine=engine,
+            shards=shards,
+            transport=_transport_for(scenario),
+        )
+    )
+    return seed, record
+
+
+def _quadrant_backend(engine, shards=1, rows=4, columns=4, flows_per_island=12,
+                      seed=7):
+    """Backend whose workload is four disjoint quadrant islands.
+
+    Flows stay inside their grid quadrant, so shortest-path routes never
+    leave it: the traffic closure has four components and ``shards=4``
+    yields four genuinely independent shards.
+    """
+    reset_flow_ids()
+    fabric = build_grid_fabric(rows, columns)
+    quads = {}
+    for node in fabric.topology.nodes():
+        name = getattr(node, "name", node)
+        coords = re.search(r"(\d+)x(\d+)", name)
+        r, c = int(coords.group(1)), int(coords.group(2))
+        quads.setdefault((r >= rows // 2, c >= columns // 2), []).append(name)
+    assert len(quads) == 4
+    flows = []
+    for q, (_, names) in enumerate(sorted(quads.items())):
+        rng = random.Random(seed + q)
+        for _ in range(flows_per_island):
+            src, dst = rng.sample(sorted(names), 2)
+            flows.append(
+                Flow(
+                    src=src,
+                    dst=dst,
+                    size_bits=rng.uniform(0.5, 2.0) * 2e6,
+                    start_time=rng.uniform(0.0, 2e-4),
+                )
+            )
+    kwargs = {"shards": shards} if engine == "sharded" else {}
+    return PacketBackend(fabric, flows, engine=engine, **kwargs), fabric, flows
+
+
+# --------------------------------------------------------------------------- #
+# Shard-count invariance: every scenario x controller, shard counts 1/2/4
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("scenario", small_scenarios(), ids=lambda s: s.name)
+def test_scenario_metrics_bit_identical_for_every_shard_count(scenario):
+    for controller in CONTROLLERS:
+        try:
+            seed_event, event = _scenario_record(scenario, controller, "event")
+        except ScenarioError:
+            with pytest.raises(ScenarioError):
+                _scenario_record(scenario, controller, "sharded")
+            continue
+        reference = _record_snapshot(event)
+        for shards in SHARD_COUNTS:
+            seed_sharded, sharded = _scenario_record(
+                scenario, controller, "sharded", shards=shards
+            )
+            assert seed_event == seed_sharded, (controller, shards)
+            assert reference == _record_snapshot(sharded), (
+                f"sharded engine diverged from the event oracle for "
+                f"scenario {scenario.name!r}, controller {controller!r}, "
+                f"shards={shards}"
+            )
+
+
+# --------------------------------------------------------------------------- #
+# Resume cuts across epoch barriers
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("shards", SHARD_COUNTS)
+def test_resume_cuts_cross_epoch_barriers(shards):
+    # Each run(until) is one coordinator epoch; arbitrary horizon cuts
+    # must leave the merged state bit-identical to the event engine at
+    # every barrier, and the continuation must not depend on where the
+    # previous epoch ended.
+    cuts = (9e-5, 2.1e-4, 3.6e-4, None)
+    stages = {}
+    for engine, kwargs in (("event", {}), ("sharded", {"shards": shards})):
+        backend, _, _ = _build_backend(engine, **kwargs)
+        legs = []
+        for cut in cuts:
+            result = backend.run(until=cut)
+            legs.append(_backend_snapshot(backend, result))
+            if cut is not None:
+                assert not backend.transport.finished
+        stages[engine] = legs
+    for cut, event_leg, sharded_leg in zip(cuts, stages["event"], stages["sharded"]):
+        assert event_leg == sharded_leg, f"diverged at cut {cut!r}"
+
+
+def test_quadrant_islands_split_into_four_shards():
+    backend, _, flows = _quadrant_backend("sharded", shards=4)
+    core = backend.network
+    assert core.shard_count == 4
+    assert {core.shard_of(f.flow_id) for f in flows} == {0, 1, 2, 3}
+    # The partition must respect traffic closures: two flows whose routes
+    # share an undirected link can contend, so they must share a shard.
+    links_of = {
+        f.flow_id: {frozenset(key) for key in backend.route_of(f.flow_id)}
+        for f in flows
+    }
+    for a in flows:
+        for b in flows:
+            if a.flow_id < b.flow_id and links_of[a.flow_id] & links_of[b.flow_id]:
+                assert core.shard_of(a.flow_id) == core.shard_of(b.flow_id)
+    # Lookahead bound: the soonest any boundary packet could cross.
+    links = backend.fabric.topology.links()
+    expected = min(link.propagation_delay + link.phy_latency for link in links)
+    assert core.conservative_lookahead == expected
+
+    reference, _, _ = _quadrant_backend("event")
+    ref_snap = _backend_snapshot(reference, reference.run())
+    snap = _backend_snapshot(backend, backend.run())
+    assert snap == ref_snap
+
+
+# --------------------------------------------------------------------------- #
+# Mid-run mutations: facade calls land in the owning shard
+# --------------------------------------------------------------------------- #
+def test_midrun_facade_mutations_land_in_correct_shard():
+    snaps = {}
+    for engine, kwargs in (("event", {}), ("sharded", {"shards": 4})):
+        backend, _, flows = _quadrant_backend(engine, **kwargs)
+        backend.run(until=1e-4)
+        # Mutate a link on flow 0's route: capacity down, then a flap.
+        key = backend.route_of(flows[0].flow_id)[0]
+        if engine == "sharded":
+            core = backend.network
+            assert core.shard_count == 4, "mutations must not demote"
+            owner = core.shard_of(flows[0].flow_id)
+            assert core._owner[key] == owner
+        backend.set_capacity(key, backend._capacities[key] * 0.5)
+        backend.set_enabled(key, False)
+        backend.run(until=2.5e-4)
+        backend.set_enabled(key, True)
+        result = backend.run()
+        if engine == "sharded":
+            assert backend.network.shard_count == 4
+            # The owner's port absorbed the capacity mutation.
+            assert backend.network._bins[owner]._ports[key].capacity_bps == (
+                backend._capacities[key]
+            )
+        snaps[engine] = _backend_snapshot(backend, result)
+    assert snaps["event"] == snaps["sharded"]
+
+
+def test_midrun_controller_attach_demotes_bit_identically():
+    # An external periodic callback needs the global calendar; attaching
+    # one mid-run demotes the coordinator (journal replay onto one
+    # monolithic core) and the rest of the run must still match the
+    # event engine bit for bit.
+    snaps = {}
+    ticks = {}
+    for engine, kwargs in (("event", {}), ("sharded", {"shards": 4})):
+        backend, _, _ = _quadrant_backend(engine, **kwargs)
+        backend.run(until=1.2e-4)
+        if engine == "sharded":
+            assert backend.network.shard_count == 4
+        calls = []
+
+        def controller(b, t, calls=calls):
+            calls.append(t)
+            key = sorted(b.links())[0]
+            b.set_capacity(key, b._capacities[key] * 0.9)
+
+        backend.add_controller(1e-4, controller)
+        if engine == "sharded":
+            assert backend.network.shard_count == 1, "attach demotes"
+        result = backend.run()
+        snaps[engine] = _backend_snapshot(backend, result)
+        ticks[engine] = calls
+    assert ticks["event"] == ticks["sharded"]
+    assert snaps["event"] == snaps["sharded"]
+
+
+def test_cross_shard_reroute_demotes_bit_identically():
+    # Reroute an island flow through the opposite island's quadrant:
+    # the detour leaves the flow's traffic closure, which a spatial
+    # partition cannot honour, so the coordinator must demote (journal
+    # replay onto one monolithic core) and stay bit-identical.
+    snaps = {}
+    for engine, kwargs in (("event", {}), ("sharded", {"shards": 4})):
+        backend, fabric, flows = _quadrant_backend(engine, **kwargs)
+        backend.run(until=1e-4)
+        victim, far = flows[0], flows[-1]
+        left = list(fabric.router.path(victim.src, far.src))
+        right = list(fabric.router.path(far.src, victim.dst))
+        nodes = left + right[1:]
+        detour = list(zip(nodes[:-1], nodes[1:]))
+        if engine == "sharded":
+            assert backend.network.shard_count == 4
+        backend.reroute(victim.flow_id, detour)
+        if engine == "sharded":
+            assert backend.network.shard_count == 1, "cross-shard reroute demotes"
+        result = backend.run()
+        snaps[engine] = _backend_snapshot(backend, result)
+    assert snaps["event"] == snaps["sharded"]
+
+
+# --------------------------------------------------------------------------- #
+# Process dispatch: spawned workers must be invisible in the results
+# --------------------------------------------------------------------------- #
+def test_process_dispatch_matches_inline(monkeypatch):
+    reference, _, _ = _quadrant_backend("event")
+    ref_snap = _backend_snapshot(reference, reference.run())
+
+    monkeypatch.setenv("REPRO_SHARD_DISPATCH", "process")
+    backend, _, _ = _quadrant_backend("sharded", shards=4)
+    snap = _backend_snapshot(backend, backend.run())
+    assert snap == ref_snap
+    # Adopted cores keep working in-process: mutate and finish inline.
+    monkeypatch.setenv("REPRO_SHARD_DISPATCH", "inline")
+    assert backend.network.shard_count == 4
+
+
+# --------------------------------------------------------------------------- #
+# Validation and demotion edges
+# --------------------------------------------------------------------------- #
+def test_shards_require_sharded_engine():
+    reset_flow_ids()
+    fabric = build_grid_fabric(3, 3)
+    names = [getattr(n, "name", n) for n in fabric.topology.nodes()]
+    flows = [Flow(src=names[0], dst=names[-1], size_bits=1e6)]
+    for engine in ("event", "batched"):
+        with pytest.raises(ValueError, match="requires engine='sharded'"):
+            PacketBackend(fabric, flows, engine=engine, shards=2)
+    with pytest.raises(ValueError, match="shards must be >= 1"):
+        PacketBackend(fabric, flows, engine="sharded", shards=0)
+
+
+def test_scenario_layer_rejects_shards_without_sharded_engine():
+    scenario = small_scenarios()[0]
+    with pytest.raises(ScenarioError, match="requires engine='sharded'"):
+        resolve_params(scenario, {"backend": "packet", "shards": 2})
+
+
+def test_truncated_sharded_drive_blocks_demotion():
+    # A max_events-truncated multi-shard drive stops each shard at its
+    # own per-shard budget -- states the monolithic replay cannot visit
+    # -- so a later demotion trigger must fail loudly, not corrupt.
+    backend, _, _ = _quadrant_backend("sharded", shards=4)
+    backend.network.drive(None, 40)
+    with pytest.raises(SimulationError, match="truncated"):
+        backend.add_controller(1e-4, lambda b, t: None)

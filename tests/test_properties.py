@@ -329,7 +329,7 @@ _batched_flow_draws = st.lists(
 )
 
 
-def _batched_backend(shape, draws, buffer_bytes=None, **kwargs):
+def _batched_backend(shape, draws, buffer_bytes=None, engine="batched", **kwargs):
     kind, a, b = shape
     builder = TopologyBuilder(lanes_per_link=1)
     topology = builder.line(a) if kind == "line" else builder.grid(a, b)
@@ -351,7 +351,7 @@ def _batched_backend(shape, draws, buffer_bytes=None, **kwargs):
         flows.append(Flow(src, dst, size_bits=size_bits, start_time=start_time))
     if not flows:
         return None
-    return PacketBackend(fabric, flows, engine="batched", **kwargs)
+    return PacketBackend(fabric, flows, engine=engine, **kwargs)
 
 
 @COMMON_SETTINGS
@@ -427,6 +427,203 @@ def test_batched_delay_breakdown_sums_to_latency(shape, draws):
         breakdown = packet.delay_breakdown()
         assert sum(breakdown.values()) == pytest.approx(packet.latency, rel=1e-9)
         assert breakdown["queueing"] == pytest.approx(packet.queueing_seconds, rel=1e-9)
+
+
+# --------------------------------------------------------------------------- #
+# Sharded packet engine invariants
+# --------------------------------------------------------------------------- #
+# The sharded coordinator partitions flows across batched cores and merges
+# their statistics streams at epoch barriers; conservation and timestamp
+# monotonicity must hold for *any* shard count, at *any* horizon cut, and
+# through live mutations (facade link toggles, the closed control loop's
+# reroutes -- which demote the coordinator mid-run).
+
+#: Shard counts beyond the component count are legal (the coordinator
+#: never splits a closure), so sample past the useful range on purpose.
+_shard_counts = st.integers(min_value=1, max_value=5)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    _topologies,
+    _batched_flow_draws,
+    _shard_counts,
+    st.floats(min_value=0.0, max_value=1.0),
+    st.booleans(),
+)
+def test_sharded_conservation_at_any_cut_with_mutations(
+    shape, draws, shards, horizon_fraction, flap_link
+):
+    """entered == delivered + dropped + in-flight at any run(until) cut of
+    the sharded engine -- summed across shards -- under random shard counts
+    and a live link flap landing between epochs."""
+    backend = _batched_backend(
+        shape,
+        draws,
+        buffer_bytes=4500,
+        engine="sharded",
+        shards=shards,
+        transport=TransportConfig(window_packets=4, retransmit_delay=1e-6),
+    )
+    if backend is None:
+        return
+    network = backend.network
+    horizon = horizon_fraction * (
+        max(f.start_time for f in backend._flows) + 2e-5
+    )
+    backend.run(until=horizon)
+    assert network.packets_entered == (
+        network.delivered_count + network.dropped_count + network.in_flight
+    )
+    assert network.packets_entered <= network.packets_injected
+    if flap_link:
+        key = sorted(backend.links())[0]
+        backend.set_enabled(key, False)
+        backend.run(until=horizon + 1e-5)
+        assert network.packets_entered == (
+            network.delivered_count + network.dropped_count + network.in_flight
+        )
+        backend.set_enabled(key, True)
+    backend.run()
+    backend.simulator.drain()
+    assert network.in_flight == 0
+    assert network.packets_entered == network.packets_injected
+    assert network.packets_entered == (
+        network.delivered_count + network.dropped_count
+    )
+    assert backend.transport.finished
+    assert network.bits_delivered <= sum(
+        f.size_bits for f in backend._flows
+    ) * (1 + 1e-9)
+
+
+@settings(max_examples=15, deadline=None)
+@given(_loop_flow_draws, _shard_counts, st.floats(min_value=0.05, max_value=1.0))
+def test_sharded_conservation_holds_while_the_loop_mutates(
+    draws, shards, horizon_fraction
+):
+    """The loop-on-packet conservation property, but on the sharded engine:
+    binding the ControlLoop schedules external callbacks, which demotes the
+    coordinator to its journal-replayed monolithic core -- conservation must
+    survive the demotion and every later reroute/PLP mutation."""
+    fabric = Fabric(
+        TopologyBuilder(lanes_per_link=2).grid(2, 3),
+        FabricConfig(switch_model=SwitchModel(buffer_bits=bits_from_bytes(9000))),
+    )
+    endpoints = fabric.topology.endpoints()
+    flows = []
+    for src_pick, dst_pick, size_bits, start_time in draws:
+        src = endpoints[src_pick % len(endpoints)]
+        dst = endpoints[dst_pick % len(endpoints)]
+        if src == dst:
+            dst = endpoints[(dst_pick + 1) % len(endpoints)]
+            if src == dst:
+                continue
+        flows.append(Flow(src, dst, size_bits=size_bits, start_time=start_time))
+    if not flows:
+        return
+    backend = PacketBackend(
+        fabric,
+        flows,
+        engine="sharded",
+        shards=shards,
+        transport=TransportConfig(window_packets=4, retransmit_delay=1e-6),
+    )
+    loop = ControlLoop(
+        fabric,
+        candidates=[GridToTorusCandidate(2, 3)],
+        config=ControlLoopConfig(
+            interval=5e-6,
+            utilisation_threshold=0.05,
+            hysteresis=1.0,
+            break_even_margin=1.0,
+            min_reconfiguration_interval=1e-5,
+        ),
+    )
+    loop.bind(backend)
+    network = backend.network
+
+    loop.run(until=horizon_fraction * 2e-4)
+    assert network.packets_entered == (
+        network.delivered_count + network.dropped_count + network.in_flight
+    )
+    assert network.packets_entered <= network.packets_injected
+
+    loop.run()
+    assert network.packets_entered == (
+        network.delivered_count + network.dropped_count + network.in_flight
+    )
+    backend.simulator.drain()
+    assert network.in_flight == 0
+    assert network.packets_entered == (
+        network.delivered_count + network.dropped_count
+    )
+    assert network.bits_delivered <= sum(f.size_bits for f in flows) * (1 + 1e-9)
+
+
+@COMMON_SETTINGS
+@given(_topologies, _batched_flow_draws, _shard_counts)
+def test_sharded_timestamps_nondecreasing_across_boundaries(shape, draws, shards):
+    """Each shard's delivery/retransmit logs are time-ordered, and the
+    coordinator's merged statistics streams respect that order across
+    shard boundaries (the merge never reorders time)."""
+    backend = _batched_backend(
+        shape,
+        draws,
+        buffer_bytes=4500,
+        engine="sharded",
+        shards=shards,
+        transport=TransportConfig(window_packets=4, retransmit_delay=1e-6),
+    )
+    if backend is None:
+        return
+    backend.run()
+    core = backend.network
+    merged_samples = core.queueing_samples
+    if core.shard_count > 1:
+        total = 0
+        for shard in core._bins:
+            times = [t for t, _ in shard.delivery_log]
+            assert times == sorted(times)
+            retx_times = [t for t, _ in shard.retransmit_log]
+            assert retx_times == sorted(retx_times)
+            assert len(shard.delivery_log) == len(shard.queueing_samples)
+            total += len(shard.queueing_samples)
+        assert len(merged_samples) == total
+        merged_times = [
+            t for t, _size, _extra in core._merge_logs(
+                [shard.delivery_log for shard in core._bins], None
+            )
+        ]
+        assert merged_times == sorted(merged_times)
+    else:
+        assert merged_samples == core._bins[0].queueing_samples
+
+
+@COMMON_SETTINGS
+@given(_topologies, _batched_flow_draws, _shard_counts)
+def test_sharded_hop_timestamps_are_nondecreasing(shape, draws, shards):
+    # Rich mode (hop records) runs on the coordinator's single-core path;
+    # the per-hop causal-order property must hold through the sharded
+    # entry point for every requested shard count.
+    backend = _batched_backend(
+        shape, draws, engine="sharded", shards=shards,
+        record_hops=True, retain_packets=True,
+    )
+    if backend is None:
+        return
+    backend.run()
+    network = backend.network
+    assert network.delivered, "idle-buffer runs must deliver everything"
+    for packet in network.delivered:
+        previous_departure = packet.created_at
+        for hop in packet.hops:
+            assert hop.arrival >= previous_departure - 1e-15
+            assert hop.departure >= hop.arrival
+            assert hop.queueing >= 0.0
+            assert hop.switching >= 0.0
+            previous_departure = hop.departure
+        assert packet.delivered_at >= previous_departure
 
 
 # --------------------------------------------------------------------------- #
